@@ -1,0 +1,117 @@
+"""Ablation bench — the design choices DESIGN.md calls out.
+
+Not a figure from the paper, but the knobs its discussion (§VI-E, §V-E)
+identifies as the interesting degrees of freedom:
+
+* commit-rule depth (HotStuff's three-chain vs. the two-chain variants);
+* vote destination (next-leader unicast vs. broadcast: 2CHS vs. the
+  LBFT-inspired variant, Streamlet);
+* leader election (round-robin rotation vs. hash-based randomization);
+* pacemaker timeout under a silent leader.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.config import Configuration
+from repro.bench.runner import run_experiment
+
+from common import bench_scale, report
+
+BASE_CONFIG = Configuration(
+    num_nodes=4,
+    block_size=400,
+    payload_size=0,
+    num_clients=2,
+    concurrency=300,
+    runtime=1.2,
+    warmup=0.4,
+    cooldown=0.4,
+    cost_profile="standard",
+    view_timeout=0.5,
+    mempool_capacity=4000,
+    seed=43,
+)
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Run one experiment per ablation arm."""
+    arms = [
+        ("commit-depth-3 (hotstuff)", BASE_CONFIG.replace(protocol="hotstuff")),
+        ("commit-depth-2 (2chainhs)", BASE_CONFIG.replace(protocol="2chainhs")),
+        ("votes-unicast (2chainhs)", BASE_CONFIG.replace(protocol="2chainhs")),
+        ("votes-broadcast (lbft)", BASE_CONFIG.replace(protocol="lbft")),
+        ("votes-broadcast+echo (streamlet)", BASE_CONFIG.replace(protocol="streamlet")),
+        ("election-round-robin", BASE_CONFIG.replace(protocol="hotstuff", election="round-robin")),
+        ("election-hash", BASE_CONFIG.replace(protocol="hotstuff", election="hash")),
+        (
+            "silent-leader timeout 50ms",
+            BASE_CONFIG.replace(
+                protocol="hotstuff", byzantine_nodes=1, strategy="silence",
+                view_timeout=0.05, election="hash", request_timeout=1.0,
+            ),
+        ),
+        (
+            "silent-leader timeout 200ms",
+            BASE_CONFIG.replace(
+                protocol="hotstuff", byzantine_nodes=1, strategy="silence",
+                view_timeout=0.2, election="hash", request_timeout=1.0,
+            ),
+        ),
+    ]
+    if scale != "full":
+        arms = arms[:2] + arms[3:5] + arms[7:]
+    rows = []
+    for label, config in arms:
+        result = run_experiment(config)
+        rows.append(
+            {
+                "arm": label,
+                "throughput_tps": result.metrics.throughput_tps,
+                "latency_ms": result.metrics.mean_latency * 1e3,
+                "block_interval": result.metrics.block_interval,
+                "cgr": result.metrics.chain_growth_rate,
+            }
+        )
+    return rows
+
+
+def test_benchmark_ablation(benchmark):
+    rows = benchmark.pedantic(run, args=(bench_scale(),), rounds=1, iterations=1)
+    report(
+        "ablation_design_choices",
+        "Ablation: commit depth, vote destination, election, timeout",
+        rows,
+        ["arm", "throughput_tps", "latency_ms", "block_interval", "cgr"],
+    )
+    by_arm = {r["arm"]: r for r in rows}
+    # The deeper commit rule costs latency, not throughput.
+    assert (
+        by_arm["commit-depth-3 (hotstuff)"]["latency_ms"]
+        > by_arm["commit-depth-2 (2chainhs)"]["latency_ms"]
+    )
+    # Echoing (Streamlet) costs throughput compared to plain vote broadcast.
+    assert (
+        by_arm["votes-broadcast+echo (streamlet)"]["throughput_tps"]
+        < by_arm["votes-broadcast (lbft)"]["throughput_tps"] * 1.05
+    )
+    # A shorter timeout recovers more throughput under a silent leader.
+    assert (
+        by_arm["silent-leader timeout 50ms"]["throughput_tps"]
+        >= by_arm["silent-leader timeout 200ms"]["throughput_tps"] * 0.9
+    )
+
+
+def main() -> None:
+    rows = run("full")
+    report(
+        "ablation_design_choices",
+        "Ablation: commit depth, vote destination, election, timeout",
+        rows,
+        ["arm", "throughput_tps", "latency_ms", "block_interval", "cgr"],
+    )
+
+
+if __name__ == "__main__":
+    main()

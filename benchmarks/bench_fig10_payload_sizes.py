@@ -1,0 +1,98 @@
+"""Figure 10 — throughput vs. latency for payload sizes 0 / 128 / 1024 bytes.
+
+The paper fixes the block size at 400 and varies the transaction payload.
+Reproduction criteria: larger payloads lower throughput and raise latency for
+every protocol, Streamlet is the most sensitive (its echoes multiply the
+bytes moved), and the latency gap between HotStuff and 2CHS narrows as the
+payload (transmission delay) grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.config import Configuration
+from repro.bench.sweeps import saturation_sweep, saturation_throughput
+
+from common import bench_scale, report
+
+BASE_CONFIG = Configuration(
+    num_nodes=4,
+    block_size=400,
+    num_clients=2,
+    runtime=1.2,
+    warmup=0.4,
+    cooldown=0.4,
+    cost_profile="standard",
+    view_timeout=0.5,
+    mempool_capacity=4000,
+    seed=19,
+)
+
+PROTOCOLS = [("HS", "hotstuff"), ("2CHS", "2chainhs"), ("SL", "streamlet")]
+CI_PAYLOADS = [0, 1024]
+FULL_PAYLOADS = [0, 128, 1024]
+CI_LEVELS = [50, 200, 800]
+FULL_LEVELS = [25, 50, 100, 200, 400, 800, 1600]
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Sweep concurrency for every protocol / payload size pair."""
+    payloads = FULL_PAYLOADS if scale == "full" else CI_PAYLOADS
+    levels = FULL_LEVELS if scale == "full" else CI_LEVELS
+    rows = []
+    for label, protocol in PROTOCOLS:
+        for payload in payloads:
+            config = BASE_CONFIG.replace(protocol=protocol, payload_size=payload)
+            for point in saturation_sweep(config, concurrency_levels=levels):
+                rows.append(
+                    {
+                        "series": f"{label}-p{payload}",
+                        "concurrency": int(point.load),
+                        "throughput_tps": point.throughput_tps,
+                        "latency_ms": point.latency_ms,
+                    }
+                )
+    return rows
+
+
+def _saturation(rows, series):
+    return max((r["throughput_tps"] for r in rows if r["series"] == series), default=0.0)
+
+
+def _low_load_latency(rows, series):
+    candidates = [r for r in rows if r["series"] == series]
+    return min(candidates, key=lambda r: r["concurrency"])["latency_ms"]
+
+
+def test_benchmark_fig10(benchmark):
+    rows = benchmark.pedantic(run, args=(bench_scale(),), rounds=1, iterations=1)
+    report(
+        "fig10_payload_sizes",
+        "Figure 10: throughput vs. latency for payload sizes (bsize 400, 4 replicas)",
+        rows,
+        ["series", "concurrency", "throughput_tps", "latency_ms"],
+    )
+    payloads = sorted({int(r["series"].split("-p")[1]) for r in rows})
+    heavy = payloads[-1]
+    # Larger payloads cost throughput for every protocol.
+    for label in ("HS", "2CHS", "SL"):
+        assert _saturation(rows, f"{label}-p{heavy}") <= _saturation(rows, f"{label}-p0")
+    # The HS vs. 2CHS latency gap narrows (relatively) with a heavy payload.
+    gap_light = _low_load_latency(rows, "HS-p0") / _low_load_latency(rows, "2CHS-p0")
+    gap_heavy = _low_load_latency(rows, f"HS-p{heavy}") / _low_load_latency(rows, f"2CHS-p{heavy}")
+    assert gap_heavy <= gap_light + 0.05
+
+
+def main() -> None:
+    rows = run("full")
+    report(
+        "fig10_payload_sizes",
+        "Figure 10: throughput vs. latency for payload sizes (bsize 400, 4 replicas)",
+        rows,
+        ["series", "concurrency", "throughput_tps", "latency_ms"],
+    )
+
+
+if __name__ == "__main__":
+    main()

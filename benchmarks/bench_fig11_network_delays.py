@@ -1,0 +1,98 @@
+"""Figure 11 — throughput vs. latency with additional network delay 0 / 5 / 10 ms.
+
+The paper injects additional inter-replica delay (5ms ± 1ms and 10ms ± 2ms).
+Reproduction criteria: latency rises by roughly the injected round-trip for
+every protocol, throughput falls, and Streamlet's relative disadvantage
+shrinks as the propagation delay starts to dominate the echo overhead
+(comparable to 2CHS at the 10 ms setting).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.config import Configuration
+from repro.bench.sweeps import saturation_sweep
+
+from common import bench_scale, report
+
+BASE_CONFIG = Configuration(
+    num_nodes=4,
+    block_size=400,
+    payload_size=128,
+    num_clients=2,
+    runtime=1.2,
+    warmup=0.4,
+    cooldown=0.4,
+    cost_profile="standard",
+    view_timeout=0.5,
+    mempool_capacity=4000,
+    seed=23,
+)
+
+PROTOCOLS = [("HS", "hotstuff"), ("2CHS", "2chainhs"), ("SL", "streamlet")]
+#: (label, one-way mean delay, one-way stddev) — the paper quotes RTT-ish
+#: figures of 5ms±1ms and 10ms±2ms; one-way halves are injected on each hop.
+CI_DELAYS = [("d0", 0.0, 0.0), ("d10", 5e-3, 1e-3)]
+FULL_DELAYS = [("d0", 0.0, 0.0), ("d5", 2.5e-3, 0.5e-3), ("d10", 5e-3, 1e-3)]
+CI_LEVELS = [50, 400]
+FULL_LEVELS = [25, 50, 100, 200, 400, 800]
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Sweep concurrency for every protocol / added delay pair."""
+    delays = FULL_DELAYS if scale == "full" else CI_DELAYS
+    levels = FULL_LEVELS if scale == "full" else CI_LEVELS
+    rows = []
+    for label, protocol in PROTOCOLS:
+        for delay_label, mean, stddev in delays:
+            config = BASE_CONFIG.replace(
+                protocol=protocol, extra_delay_mean=mean, extra_delay_stddev=stddev
+            )
+            for point in saturation_sweep(config, concurrency_levels=levels):
+                rows.append(
+                    {
+                        "series": f"{label}-{delay_label}",
+                        "concurrency": int(point.load),
+                        "throughput_tps": point.throughput_tps,
+                        "latency_ms": point.latency_ms,
+                    }
+                )
+    return rows
+
+
+def _low_load_latency(rows, series):
+    candidates = [r for r in rows if r["series"] == series]
+    return min(candidates, key=lambda r: r["concurrency"])["latency_ms"]
+
+
+def test_benchmark_fig11(benchmark):
+    rows = benchmark.pedantic(run, args=(bench_scale(),), rounds=1, iterations=1)
+    report(
+        "fig11_network_delays",
+        "Figure 11: throughput vs. latency under added network delay (bsize 400, p128)",
+        rows,
+        ["series", "concurrency", "throughput_tps", "latency_ms"],
+    )
+    # Added delay raises latency for every protocol.
+    for label in ("HS", "2CHS", "SL"):
+        assert _low_load_latency(rows, f"{label}-d10") > _low_load_latency(rows, f"{label}-d0")
+    # Streamlet's latency penalty relative to 2CHS shrinks once propagation
+    # delay dominates.
+    ratio_near = _low_load_latency(rows, "SL-d0") / _low_load_latency(rows, "2CHS-d0")
+    ratio_far = _low_load_latency(rows, "SL-d10") / _low_load_latency(rows, "2CHS-d10")
+    assert ratio_far <= ratio_near + 0.05
+
+
+def main() -> None:
+    rows = run("full")
+    report(
+        "fig11_network_delays",
+        "Figure 11: throughput vs. latency under added network delay (bsize 400, p128)",
+        rows,
+        ["series", "concurrency", "throughput_tps", "latency_ms"],
+    )
+
+
+if __name__ == "__main__":
+    main()

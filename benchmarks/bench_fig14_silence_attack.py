@@ -1,0 +1,130 @@
+"""Figure 14 — the silence attack: throughput, latency, CGR, BI vs. Byzantine count.
+
+The paper runs 32 replicas with a 50 ms view timeout and raises the number of
+silent Byzantine leaders from 0 to 10.  Reproduction criteria:
+
+* every protocol's throughput falls as more leaders stay silent;
+* HotStuff and two-chain HotStuff lose chain growth alike (the block before
+  a silent view loses its certificate and is overwritten);
+* Streamlet's chain growth rate stays at 1 (broadcast votes mean no QC is
+  ever lost), so it degrades gracefully;
+* block intervals grow faster than under the forking attack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.config import Configuration
+from repro.bench.runner import run_experiment
+
+from common import bench_scale, report
+
+BASE_CONFIG = Configuration(
+    strategy="silence",
+    block_size=400,
+    payload_size=128,
+    num_clients=2,
+    concurrency=400,
+    runtime=1.5,
+    warmup=0.4,
+    cooldown=0.4,
+    cost_profile="standard",
+    # The paper uses a 50 ms timeout against ~10 ms happy-path views; the
+    # scaled cost profile makes a view take ~50 ms (HS/2CHS) or several
+    # hundred ms (Streamlet's echoes), so the timeouts below keep the same
+    # "several times the happy-path view" ratio per protocol.
+    view_timeout=0.25,
+    election="hash",
+    request_timeout=1.5,
+    mempool_capacity=4000,
+    seed=37,
+)
+
+STREAMLET_VIEW_TIMEOUT = 0.4
+STREAMLET_RUNTIME = 3.0
+
+PROTOCOLS = [("HS", "hotstuff"), ("2CHS", "2chainhs"), ("SL", "streamlet")]
+CI_SETUP = {"nodes": 16, "byz_counts": [0, 4], "sl_nodes": 4, "sl_byz": [0, 1]}
+FULL_SETUP = {"nodes": 32, "byz_counts": [0, 2, 4, 6, 8, 10], "sl_nodes": 32, "sl_byz": [0, 2, 4, 6, 8, 10]}
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Measure the four metrics as the number of silent leaders grows."""
+    setup = FULL_SETUP if scale == "full" else CI_SETUP
+    rows = []
+    for label, protocol in PROTOCOLS:
+        nodes = setup["sl_nodes"] if label == "SL" else setup["nodes"]
+        byz_counts = setup["sl_byz"] if label == "SL" else setup["byz_counts"]
+        for byz in byz_counts:
+            config = BASE_CONFIG.replace(protocol=protocol, num_nodes=nodes, byzantine_nodes=byz)
+            if label == "SL":
+                # Streamlet's echoes make its happy-path view several times
+                # longer under the scaled cost profile; keep the timeout a
+                # small multiple of the view and measure a longer window so
+                # silent-leader stalls do not consume the whole run.
+                config = config.replace(
+                    view_timeout=STREAMLET_VIEW_TIMEOUT, runtime=STREAMLET_RUNTIME
+                )
+            result = run_experiment(config)
+            rows.append(
+                {
+                    "protocol": label,
+                    "nodes": nodes,
+                    "byzantine": byz,
+                    "throughput_tps": result.metrics.throughput_tps,
+                    "latency_ms": result.metrics.mean_latency * 1e3,
+                    "cgr": result.metrics.chain_growth_rate,
+                    "block_interval": result.metrics.block_interval,
+                }
+            )
+    return rows
+
+
+def _metric(rows, protocol, byz, key):
+    for row in rows:
+        if row["protocol"] == protocol and row["byzantine"] == byz:
+            return row[key]
+    return None
+
+
+def test_benchmark_fig14(benchmark):
+    rows = benchmark.pedantic(run, args=(bench_scale(),), rounds=1, iterations=1)
+    report(
+        "fig14_silence_attack",
+        "Figure 14: metrics under the silence attack (increasing Byzantine nodes)",
+        rows,
+        ["protocol", "nodes", "byzantine", "throughput_tps", "latency_ms", "cgr", "block_interval"],
+    )
+    hs_byz = max(r["byzantine"] for r in rows if r["protocol"] == "HS")
+    sl_byz = max(r["byzantine"] for r in rows if r["protocol"] == "SL")
+    # Throughput falls for every protocol.
+    for label, byz in (("HS", hs_byz), ("2CHS", hs_byz), ("SL", sl_byz)):
+        assert _metric(rows, label, byz, "throughput_tps") < _metric(rows, label, 0, "throughput_tps")
+    # HS and 2CHS lose chain growth alike; Streamlet stays at 1.  The HS/2CHS
+    # gap tolerance is loose at CI scale: with a third of the leaders silent,
+    # HotStuff's stricter consecutive-view three-chain also delays commits
+    # beyond the short measurement window.
+    assert _metric(rows, "HS", hs_byz, "cgr") < 0.98
+    assert abs(_metric(rows, "HS", hs_byz, "cgr") - _metric(rows, "2CHS", hs_byz, "cgr")) < 0.35
+    # Streamlet never forks; its CGR only dips through the short-window tail
+    # of blocks that have not yet gathered two successors when measurement
+    # stops, so the bound is loose at CI scale.
+    assert _metric(rows, "SL", sl_byz, "cgr") > 0.7
+    assert _metric(rows, "SL", sl_byz, "cgr") >= _metric(rows, "HS", hs_byz, "cgr") - 0.05
+    # Block interval grows under the attack.
+    assert _metric(rows, "HS", hs_byz, "block_interval") > _metric(rows, "HS", 0, "block_interval")
+
+
+def main() -> None:
+    rows = run("full")
+    report(
+        "fig14_silence_attack",
+        "Figure 14: metrics under the silence attack (increasing Byzantine nodes)",
+        rows,
+        ["protocol", "nodes", "byzantine", "throughput_tps", "latency_ms", "cgr", "block_interval"],
+    )
+
+
+if __name__ == "__main__":
+    main()

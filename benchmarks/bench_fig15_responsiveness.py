@@ -1,0 +1,146 @@
+"""Figure 15 — responsiveness: throughput over time with fluctuation + crash.
+
+Four replicas run under sustained load; the network fluctuates for a period
+(inter-replica delays far above the optimistic timeout), after which one
+replica crashes (a permanent silence attack).  Two settings are compared:
+
+* ``t-small`` — the timeout is far below the fluctuation delays and leaders
+  propose as soon as they enter a view (the paper's 10 ms setting);
+* ``t-large`` — the timeout covers the worst fluctuation delay and leaders
+  wait out the timeout after a TC-triggered view change (the 100 ms setting).
+
+Reproduction criteria: every protocol stalls during the fluctuation in the
+small-timeout setting; the responsive protocol (HotStuff) resumes at network
+speed once the fluctuation ends despite the crashed replica; the
+large-timeout setting keeps all protocols live but at lower throughput.
+
+The paper additionally observed that 2CHS and Streamlet never recovered in
+the small-timeout setting because replicas ended up locked on conflicting
+blocks; in this simulator messages are delayed but never lost, so those
+protocols do recover once delays normalize — EXPERIMENTS.md discusses the
+deviation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.config import Configuration
+from repro.bench.timeline import ResponsivenessScenario, run_responsiveness
+
+from common import bench_scale, report
+
+BASE_CONFIG = Configuration(
+    num_nodes=4,
+    block_size=100,
+    payload_size=128,
+    num_clients=2,
+    concurrency=300,
+    cost_profile="standard",
+    election="hash",
+    request_timeout=1.5,
+    mempool_capacity=4000,
+    runtime=12.0,
+    warmup=0.0,
+    cooldown=0.0,
+    seed=41,
+)
+
+PROTOCOLS = [("HS", "hotstuff"), ("2CHS", "2chainhs"), ("SL", "streamlet")]
+
+CI_SCENARIO = ResponsivenessScenario(
+    fluctuation_start=3.0,
+    fluctuation_duration=4.0,
+    fluctuation_min=0.06,
+    fluctuation_max=0.15,
+    crash_at=8.0,
+    total_duration=12.0,
+    bucket=0.5,
+)
+FULL_SCENARIO = ResponsivenessScenario(
+    fluctuation_start=5.0,
+    fluctuation_duration=10.0,
+    fluctuation_min=0.06,
+    fluctuation_max=0.15,
+    crash_at=16.0,
+    total_duration=40.0,
+    bucket=0.5,
+)
+
+#: (setting label, view timeout, wait after a TC before proposing).  The
+#: paper's 10 ms / 100 ms settings are scaled to the simulator's view
+#: duration: the small timeout exceeds the happy-path view but is far below
+#: the fluctuation delays; the large timeout covers the worst fluctuation
+#: round trip.
+SETTINGS = [("t-small", 0.08, 0.0), ("t-large", 0.35, 0.35)]
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Run the fluctuation + crash scenario for each protocol and timeout."""
+    scenario = FULL_SCENARIO if scale == "full" else CI_SCENARIO
+    rows = []
+    for setting, timeout, wait in SETTINGS:
+        for label, protocol in PROTOCOLS:
+            config = BASE_CONFIG.replace(
+                protocol=protocol,
+                view_timeout=timeout,
+                propose_wait_after_tc=wait,
+                runtime=scenario.total_duration,
+            )
+            result = run_responsiveness(config, scenario)
+            rows.append(
+                {
+                    "series": f"{label}-{setting}",
+                    "before_tps": result.throughput_before,
+                    "during_tps": result.throughput_during,
+                    "after_crash_tps": result.throughput_after,
+                    "consistent": result.consistent,
+                }
+            )
+    return rows
+
+
+def _row(rows, series):
+    return next(r for r in rows if r["series"] == series)
+
+
+def test_benchmark_fig15(benchmark):
+    rows = benchmark.pedantic(run, args=(bench_scale(),), rounds=1, iterations=1)
+    report(
+        "fig15_responsiveness",
+        "Figure 15: throughput before / during fluctuation / after the crash",
+        rows,
+        ["series", "before_tps", "during_tps", "after_crash_tps", "consistent"],
+    )
+    # Small-timeout setting: the fluctuation stalls every protocol that was
+    # making progress before it.
+    for label in ("HS", "2CHS", "SL"):
+        row = _row(rows, f"{label}-t-small")
+        if row["before_tps"] > 0:
+            assert row["during_tps"] < 0.5 * row["before_tps"]
+        assert row["consistent"]
+    # HotStuff (responsive) resumes after the fluctuation despite the crash:
+    # clearly above the stalled fluctuation level, and a sizable fraction of
+    # the pre-fault throughput (the crashed leader's views still cost a
+    # timeout each, which is why it is not 100%).
+    hs_small = _row(rows, "HS-t-small")
+    assert hs_small["after_crash_tps"] > 2 * hs_small["during_tps"]
+    assert hs_small["after_crash_tps"] > 0.15 * hs_small["before_tps"]
+    # Large-timeout setting keeps everyone live, at reduced throughput.
+    for label in ("HS", "2CHS", "SL"):
+        row = _row(rows, f"{label}-t-large")
+        assert row["after_crash_tps"] > 0
+
+
+def main() -> None:
+    rows = run("full")
+    report(
+        "fig15_responsiveness",
+        "Figure 15: throughput before / during fluctuation / after the crash",
+        rows,
+        ["series", "before_tps", "during_tps", "after_crash_tps", "consistent"],
+    )
+
+
+if __name__ == "__main__":
+    main()

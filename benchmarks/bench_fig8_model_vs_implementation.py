@@ -1,0 +1,102 @@
+"""Figure 8 — analytical model vs. implementation (HS, 2CHS, SL).
+
+The paper validates the Bamboo implementations against the queuing model of
+§V on four (cluster size / block size) configurations, plotting latency vs.
+throughput for both.  This bench runs the same comparison: for each
+configuration and protocol it sweeps open-loop arrival rates, measures the
+simulator's latency, asks the analytical model for its prediction at the same
+rate, and reports both.  The reproduction criterion is that the model tracks
+the implementation: low-load latencies within a modest factor and the same
+saturation ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.config import Configuration
+from repro.bench.runner import run_experiment
+from repro.model.predictions import AnalyticalModel, ModelParameters
+
+from common import bench_scale, report
+
+PROTOCOLS = ["hotstuff", "2chainhs", "streamlet"]
+
+BASE_CONFIG = Configuration(
+    num_nodes=4,
+    block_size=400,
+    payload_size=0,
+    num_clients=2,
+    runtime=1.2,
+    warmup=0.4,
+    cooldown=0.4,
+    cost_profile="standard",
+    view_timeout=0.5,
+    mempool_capacity=4000,
+    seed=13,
+)
+
+CI_CONFIGS = [(4, 100), (4, 400)]
+FULL_CONFIGS = [(4, 100), (8, 100), (4, 400), (8, 400)]
+CI_LOAD_FRACTIONS = [0.2, 0.5, 0.8]
+FULL_LOAD_FRACTIONS = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Compare measured and predicted latency across configurations."""
+    configs = FULL_CONFIGS if scale == "full" else CI_CONFIGS
+    fractions = FULL_LOAD_FRACTIONS if scale == "full" else CI_LOAD_FRACTIONS
+    rows = []
+    for num_nodes, block_size in configs:
+        for protocol in PROTOCOLS:
+            config = BASE_CONFIG.replace(
+                protocol=protocol, num_nodes=num_nodes, block_size=block_size
+            )
+            model = AnalyticalModel(protocol, ModelParameters.from_configuration(config))
+            saturation = model.saturation_rate()
+            for fraction in fractions:
+                rate = fraction * saturation
+                result = run_experiment(config.replace(arrival_rate=rate))
+                rows.append(
+                    {
+                        "config": f"{num_nodes}/{block_size}",
+                        "protocol": protocol,
+                        "arrival_tps": rate,
+                        "measured_ms": result.metrics.mean_latency * 1e3,
+                        "model_ms": model.latency(rate) * 1e3,
+                        "measured_tput": result.metrics.throughput_tps,
+                    }
+                )
+    return rows
+
+
+def test_benchmark_fig8(benchmark):
+    rows = benchmark.pedantic(run, args=(bench_scale(),), rounds=1, iterations=1)
+    report(
+        "fig8_model_vs_implementation",
+        "Figure 8: model vs. implementation (latency in ms at increasing arrival rates)",
+        rows,
+        ["config", "protocol", "arrival_tps", "measured_ms", "model_ms", "measured_tput"],
+    )
+    # Model and implementation should agree at low load (the paper's curves
+    # overlap; our tolerance is a factor of three because the M/D/1 term
+    # grows somewhat faster than the simulator's bounded mempool queue).
+    for (config_key, protocol) in {(r["config"], r["protocol"]) for r in rows}:
+        series = [r for r in rows if r["config"] == config_key and r["protocol"] == protocol]
+        lowest = min(series, key=lambda r: r["arrival_tps"])
+        assert lowest["measured_ms"] <= 4.0 * lowest["model_ms"]
+        assert lowest["model_ms"] <= 4.0 * lowest["measured_ms"]
+
+
+def main() -> None:
+    rows = run("full")
+    report(
+        "fig8_model_vs_implementation",
+        "Figure 8: model vs. implementation (latency in ms at increasing arrival rates)",
+        rows,
+        ["config", "protocol", "arrival_tps", "measured_ms", "model_ms", "measured_tput"],
+    )
+
+
+if __name__ == "__main__":
+    main()

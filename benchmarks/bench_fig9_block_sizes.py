@@ -1,0 +1,105 @@
+"""Figure 9 — throughput vs. latency for block sizes 100 / 400 / 800.
+
+The paper compares HS, 2CHS, SL (and the original C++ HotStuff, OHS) with
+zero-payload requests at three block sizes by raising client concurrency
+until saturation.  Reproduction criteria: every curve is L-shaped, larger
+blocks raise the saturation throughput with diminishing returns above 400,
+Streamlet sits below the HotStuff variants, and the OHS profile is close to
+Bamboo-HotStuff.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.config import Configuration
+from repro.bench.sweeps import saturation_sweep, saturation_throughput
+
+from common import bench_scale, report
+
+BASE_CONFIG = Configuration(
+    num_nodes=4,
+    payload_size=0,
+    num_clients=2,
+    runtime=1.2,
+    warmup=0.4,
+    cooldown=0.4,
+    cost_profile="standard",
+    view_timeout=0.5,
+    mempool_capacity=4000,
+    seed=17,
+)
+
+CI_LEVELS = [50, 200, 800]
+FULL_LEVELS = [25, 50, 100, 200, 400, 800, 1600]
+CI_BLOCK_SIZES = [100, 400]
+FULL_BLOCK_SIZES = [100, 400, 800]
+
+#: (label, protocol, cost profile) — OHS is HotStuff under the "ohs" profile.
+SERIES = [
+    ("HS", "hotstuff", "standard"),
+    ("2CHS", "2chainhs", "standard"),
+    ("SL", "streamlet", "standard"),
+    ("OHS", "hotstuff", "ohs"),
+]
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Sweep client concurrency for every protocol / block size pair."""
+    levels = FULL_LEVELS if scale == "full" else CI_LEVELS
+    block_sizes = FULL_BLOCK_SIZES if scale == "full" else CI_BLOCK_SIZES
+    rows = []
+    for label, protocol, profile in SERIES:
+        for block_size in block_sizes:
+            if label == "OHS" and block_size == 400:
+                # The paper could not obtain meaningful OHS results at 400.
+                continue
+            config = BASE_CONFIG.replace(
+                protocol=protocol, block_size=block_size, cost_profile=profile
+            )
+            points = saturation_sweep(config, concurrency_levels=levels)
+            for point in points:
+                rows.append(
+                    {
+                        "series": f"{label}-b{block_size}",
+                        "concurrency": int(point.load),
+                        "throughput_tps": point.throughput_tps,
+                        "latency_ms": point.latency_ms,
+                    }
+                )
+    return rows
+
+
+def _saturation(rows: List[Dict], series: str) -> float:
+    return max((r["throughput_tps"] for r in rows if r["series"] == series), default=0.0)
+
+
+def test_benchmark_fig9(benchmark):
+    scale = bench_scale()
+    rows = benchmark.pedantic(run, args=(scale,), rounds=1, iterations=1)
+    report(
+        "fig9_block_sizes",
+        "Figure 9: throughput vs. latency for block sizes (zero payload, 4 replicas)",
+        rows,
+        ["series", "concurrency", "throughput_tps", "latency_ms"],
+    )
+    # Larger blocks raise saturation throughput.
+    assert _saturation(rows, "HS-b400") > _saturation(rows, "HS-b100")
+    # Streamlet saturates below HotStuff at the same block size.
+    assert _saturation(rows, "SL-b400") < _saturation(rows, "HS-b400")
+    # The OHS baseline is within a modest factor of Bamboo-HotStuff.
+    assert _saturation(rows, "OHS-b100") >= 0.7 * _saturation(rows, "HS-b100")
+
+
+def main() -> None:
+    rows = run("full")
+    report(
+        "fig9_block_sizes",
+        "Figure 9: throughput vs. latency for block sizes (zero payload, 4 replicas)",
+        rows,
+        ["series", "concurrency", "throughput_tps", "latency_ms"],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Shared plumbing for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation section.  Each module exposes:
+
+* ``run(scale)`` — runs the experiment sweep and returns a list of result
+  rows (dicts);
+* a ``test_benchmark_*`` function that wires ``run`` into pytest-benchmark
+  (one round — a "run" here is a whole simulation campaign, not a
+  micro-benchmark);
+* ``main()`` — runs the sweep at full scale and prints the paper-style table.
+
+Scales
+------
+``ci`` (default)
+    Reduced parameter grids sized so the whole benchmark suite finishes in
+    minutes on a laptop.  The qualitative shapes (protocol ordering, curve
+    knees, attack degradation) are preserved.
+``full``
+    The paper-sized grids (64-node scalability, 0-10 Byzantine nodes, long
+    responsiveness timeline).  Select by setting ``REPRO_BENCH_SCALE=full``.
+
+Simulated vs. paper numbers: the simulator charges millisecond-scale CPU
+costs (see ``repro.bench.profiles``), so absolute Tx/s are a few thousand
+rather than the paper's tens of thousands; EXPERIMENTS.md compares shapes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """The benchmark scale: "ci" (default) or "full" via REPRO_BENCH_SCALE."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "ci").lower()
+    return "full" if scale == "full" else "ci"
+
+
+def format_table(title: str, rows: List[Dict], columns: Iterable[str]) -> str:
+    """Render rows as a fixed-width text table."""
+    columns = list(columns)
+    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) if rows else len(c) for c in columns}
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(c.ljust(widths[c]) for c in columns))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def report(name: str, title: str, rows: List[Dict], columns: Iterable[str]) -> str:
+    """Print the table and save it under benchmarks/results/."""
+    table = format_table(title, rows, columns)
+    print("\n" + table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    return table
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

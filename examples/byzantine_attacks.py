@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Demonstrate the two Byzantine strategies of the paper (§IV-A, §VI-C).
+
+Runs an 8-replica cluster with 2 Byzantine replicas performing either the
+forking attack (proposing conflicting blocks that overwrite uncommitted
+ancestors) or the silence attack (not proposing at all), and shows how the
+four metrics respond for each protocol:
+
+* forking: HotStuff loses two blocks per attack, 2CHS one, Streamlet none;
+* silence: chain growth of the HotStuff variants drops (the pre-silence
+  block loses its certificate) while Streamlet's stays at 1, but every
+  protocol loses throughput to the timeouts.
+
+Run with::
+
+    python examples/byzantine_attacks.py
+"""
+
+from repro import Configuration, run_experiment
+
+PROTOCOLS = ["hotstuff", "2chainhs", "streamlet"]
+STRATEGIES = ["forking", "silence"]
+
+
+def main() -> None:
+    base = Configuration(
+        num_nodes=8,
+        byzantine_nodes=2,
+        block_size=50,
+        concurrency=30,
+        num_clients=2,
+        runtime=1.5,
+        warmup=0.3,
+        cost_profile="fast",
+        view_timeout=0.05,
+        election="hash",        # per-view random leaders, as in the paper's overview
+        request_timeout=0.3,    # clients re-submit requests stuck at silent replicas
+        seed=5,
+    )
+
+    for strategy in STRATEGIES:
+        print(f"\n=== {strategy} attack: 8 replicas, 2 Byzantine ===")
+        print(f"{'protocol':<12} {'Tx/s':>9} {'latency':>10} {'CGR':>6} {'BI':>6} {'forked':>7}")
+        for protocol in PROTOCOLS:
+            result = run_experiment(base.replace(protocol=protocol, strategy=strategy))
+            metrics = result.metrics
+            print(
+                f"{protocol:<12} {metrics.throughput_tps:>9,.0f} "
+                f"{metrics.mean_latency * 1e3:>8.1f}ms {metrics.chain_growth_rate:>6.2f} "
+                f"{metrics.block_interval:>6.2f} {metrics.blocks_forked:>7}"
+            )
+            assert metrics.safety_violations == 0, "attacks must never break safety"
+
+    print(
+        "\nNote how Streamlet's chain growth rate stays at 1.0 under both attacks "
+        "(vote broadcasting + the longest-chain rule), while HotStuff loses more "
+        "blocks to forking than two-chain HotStuff does."
+    )
+
+
+if __name__ == "__main__":
+    main()

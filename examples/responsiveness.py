@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Responsiveness under network fluctuation and a crash (paper §VI-D, Fig. 15).
+
+Injects a window of large, variable network delay into a 4-replica cluster
+under load, then crashes one replica, and prints a throughput timeline per
+protocol for two timeout settings.  The optimistically responsive protocol
+(HotStuff) resumes at network speed as soon as the fluctuation ends; the
+others depend on how the timeout was tuned.
+
+Run with::
+
+    python examples/responsiveness.py
+"""
+
+from repro import Configuration, ResponsivenessScenario, run_responsiveness
+
+PROTOCOLS = ["hotstuff", "2chainhs", "streamlet"]
+
+
+def sparkline(values, peak):
+    """Render a throughput timeline as a coarse text sparkline."""
+    blocks = " .:-=+*#%@"
+    if peak <= 0:
+        return ""
+    chars = []
+    for value in values:
+        index = min(len(blocks) - 1, int(round(value / peak * (len(blocks) - 1))))
+        chars.append(blocks[index])
+    return "".join(chars)
+
+
+def main() -> None:
+    scenario = ResponsivenessScenario(
+        fluctuation_start=3.0,
+        fluctuation_duration=4.0,
+        fluctuation_min=0.05,
+        fluctuation_max=0.2,
+        crash_at=8.0,
+        total_duration=14.0,
+        bucket=0.5,
+    )
+    base = Configuration(
+        num_nodes=4,
+        block_size=400,
+        payload_size=128,
+        concurrency=200,
+        num_clients=2,
+        runtime=scenario.total_duration,
+        warmup=0.0,
+        cooldown=0.0,
+        cost_profile="standard",
+        election="hash",
+        request_timeout=1.0,
+        mempool_capacity=4000,
+        seed=41,
+    )
+
+    for setting, timeout, wait in [("small timeout", 0.01, 0.0), ("large timeout", 0.25, 0.25)]:
+        print(f"\n=== {setting}: view timeout {timeout * 1e3:.0f} ms ===")
+        print(f"(fluctuation {scenario.fluctuation_start:.0f}-{scenario.fluctuation_end:.0f}s, crash at {scenario.crash_at:.0f}s)")
+        for protocol in PROTOCOLS:
+            config = base.replace(protocol=protocol, view_timeout=timeout, propose_wait_after_tc=wait)
+            result = run_responsiveness(config, scenario)
+            values = [tps for _, tps in result.timeline]
+            peak = max(values) if values else 0.0
+            print(
+                f"{protocol:<10} before={result.throughput_before:>7,.0f}  "
+                f"during={result.throughput_during:>7,.0f}  "
+                f"after-crash={result.throughput_after:>7,.0f} Tx/s"
+            )
+            print(f"           |{sparkline(values, peak)}|")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Bamboo-py: a framework for prototyping and evaluating chained-BFT protocols.
+
+This package reproduces the system described in "Dissecting the Performance
+of Chained-BFT" (ICDCS 2021): the Bamboo prototyping framework, the three
+evaluated protocols (HotStuff, two-chain HotStuff, Streamlet) plus two
+extensions (Fast-HotStuff and an LBFT-inspired variant), the two Byzantine
+attack strategies (forking and silence), the benchmark facilities, and the
+analytical queuing model used to validate the implementation.
+
+Quick start::
+
+    from repro import Configuration, run_experiment
+
+    config = Configuration(protocol="hotstuff", num_nodes=4, block_size=400,
+                           runtime=2.0, cost_profile="fast")
+    result = run_experiment(config)
+    print(result.metrics.as_dict())
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+regeneration of every table and figure in the paper's evaluation.
+"""
+
+from repro.bench.config import Configuration
+from repro.bench.metrics import MetricsCollector, RunMetrics
+from repro.bench.runner import Cluster, ExperimentResult, build_cluster, run_experiment
+from repro.bench.sweeps import SweepPoint, saturation_sweep
+from repro.bench.timeline import ResponsivenessScenario, run_responsiveness
+from repro.core.byzantine import ForkingReplica, SilentReplica
+from repro.core.replica import Replica, ReplicaSettings
+from repro.model.predictions import AnalyticalModel, ModelParameters
+from repro.protocols.registry import available_protocols, make_safety
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticalModel",
+    "Cluster",
+    "Configuration",
+    "ExperimentResult",
+    "ForkingReplica",
+    "MetricsCollector",
+    "ModelParameters",
+    "Replica",
+    "ReplicaSettings",
+    "ResponsivenessScenario",
+    "RunMetrics",
+    "SilentReplica",
+    "SweepPoint",
+    "available_protocols",
+    "build_cluster",
+    "make_safety",
+    "run_experiment",
+    "run_responsiveness",
+    "saturation_sweep",
+    "__version__",
+]

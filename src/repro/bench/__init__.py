@@ -1,0 +1,23 @@
+"""Benchmark facilities: configuration, metrics, experiment runner, sweeps."""
+
+from repro.bench.config import Configuration
+from repro.bench.metrics import MetricsCollector, RunMetrics
+from repro.bench.profiles import cost_profile
+from repro.bench.runner import Cluster, ExperimentResult, build_cluster, run_experiment
+from repro.bench.sweeps import SweepPoint, saturation_sweep
+from repro.bench.timeline import ResponsivenessScenario, run_responsiveness
+
+__all__ = [
+    "Cluster",
+    "Configuration",
+    "ExperimentResult",
+    "MetricsCollector",
+    "ResponsivenessScenario",
+    "RunMetrics",
+    "SweepPoint",
+    "build_cluster",
+    "cost_profile",
+    "run_experiment",
+    "run_responsiveness",
+    "saturation_sweep",
+]

@@ -1,0 +1,143 @@
+"""Experiment configuration (the simulation analogue of Table I).
+
+A :class:`Configuration` captures everything needed to build and run one
+experiment: the protocol, the cluster, the Byzantine setup, the workload, the
+network conditions, and the simulation horizon.  It can be serialized to and
+from a JSON-compatible dict, mirroring Bamboo's JSON configuration file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class Configuration:
+    """All knobs for one experiment run."""
+
+    # --- protocol and cluster -----------------------------------------
+    protocol: str = "hotstuff"
+    num_nodes: int = 4
+    #: Number of Byzantine replicas (Table I's ``byzNo``).
+    byzantine_nodes: int = 0
+    #: Byzantine strategy: "silence" or "forking" (Table I's ``strategy``).
+    strategy: str = "silence"
+    #: Static leader node id; empty string means rotating leaders
+    #: (Table I's ``master`` with 0 meaning rotation).
+    master: str = ""
+    #: Leader election kind when ``master`` is empty: "round-robin" (Bamboo's
+    #: default rotation) or "hash" (per-view pseudo-random leaders, the
+    #: "chosen at random" description of §II-A).  The Byzantine-attack
+    #: benchmarks use "hash" so that attack damage is spread uniformly over
+    #: honest proposers instead of always hitting the same rotation slots.
+    election: str = "round-robin"
+
+    # --- block / mempool / workload ------------------------------------
+    #: Transactions per block (Table I's ``bsize``).
+    block_size: int = 400
+    #: Mempool capacity (Table I's ``memsize``).
+    mempool_capacity: int = 1000
+    #: Transaction payload size in bytes (Table I's ``psize``).
+    payload_size: int = 0
+    #: Number of client processes (the paper uses 2 client VMs).
+    num_clients: int = 2
+    #: Outstanding requests per closed-loop client (Table I's ``concurrency``).
+    concurrency: int = 10
+    #: If positive, use open-loop Poisson clients with this *total* rate
+    #: (transactions per second across all clients) instead of closed-loop.
+    arrival_rate: float = 0.0
+    #: Client-side request timeout: a closed-loop client that has not heard a
+    #: reply within this many seconds gives up on the request and re-submits
+    #: a fresh one to another randomly chosen replica (this is what keeps a
+    #: benchmark client alive when its request landed on a silent or starved
+    #: replica).
+    request_timeout: float = 1.0
+
+    # --- network --------------------------------------------------------
+    #: Mean / stddev of the base one-way LAN delay (seconds).
+    base_delay_mean: float = 0.25e-3
+    base_delay_stddev: float = 0.05e-3
+    #: Additional configured one-way delay (Table I's ``delay``), mean/stddev.
+    extra_delay_mean: float = 0.0
+    extra_delay_stddev: float = 0.0
+    #: NIC bandwidth in bytes per second.
+    bandwidth_bps: float = 125_000_000.0
+
+    # --- timing ----------------------------------------------------------
+    #: Pacemaker timeout (Table I's ``timeout``), seconds.
+    view_timeout: float = 0.1
+    #: Extra wait before proposing after a TC-triggered view change.
+    propose_wait_after_tc: float = 0.0
+    #: Measured portion of the run (Table I's ``runtime``), simulated seconds.
+    runtime: float = 5.0
+    #: Warm-up excluded from measurements, simulated seconds.
+    warmup: float = 0.5
+    #: Extra simulated time after the measured window to let commits drain.
+    cooldown: float = 0.5
+
+    # --- simulation ------------------------------------------------------
+    seed: int = 1
+    #: Cost profile name ("standard", "fast", "ohs") — see bench.profiles.
+    cost_profile: str = "standard"
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        if not 0 <= self.byzantine_nodes < self.num_nodes:
+            raise ValueError("byzantine_nodes must be in [0, num_nodes)")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.runtime <= 0:
+            raise ValueError("runtime must be positive")
+        if self.warmup < 0 or self.cooldown < 0:
+            raise ValueError("warmup and cooldown must be non-negative")
+
+    # ------------------------------------------------------------------
+    # derived values
+    # ------------------------------------------------------------------
+    def node_ids(self) -> List[str]:
+        """Replica identifiers, r0..r{n-1}."""
+        return [f"r{i}" for i in range(self.num_nodes)]
+
+    def client_ids(self) -> List[str]:
+        """Client identifiers, c0..c{m-1}."""
+        return [f"c{i}" for i in range(self.num_clients)]
+
+    def byzantine_ids(self) -> List[str]:
+        """Ids of the Byzantine replicas (the highest-numbered ones).
+
+        Keeping r0 honest guarantees the metrics observer is honest.
+        """
+        ids = self.node_ids()
+        if self.byzantine_nodes == 0:
+            return []
+        return ids[-self.byzantine_nodes:]
+
+    @property
+    def total_duration(self) -> float:
+        """Total simulated time: warmup + measured runtime + cooldown."""
+        return self.warmup + self.runtime + self.cooldown
+
+    @property
+    def measurement_window(self) -> tuple:
+        """(start, end) of the measured interval in simulated seconds."""
+        return (self.warmup, self.warmup + self.runtime)
+
+    # ------------------------------------------------------------------
+    # (de)serialization, replacement
+    # ------------------------------------------------------------------
+    def replace(self, **changes: Any) -> "Configuration":
+        """Return a copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a JSON-compatible dict (Bamboo uses a JSON file)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Configuration":
+        """Build a configuration from a dict, ignoring unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})

@@ -1,0 +1,224 @@
+"""Metrics: throughput, latency, chain growth rate, and block interval.
+
+The collector receives events from two sides:
+
+* the *observer replica* (an honest replica designated by the runner) reports
+  blocks added to its forest, blocks committed, forked blocks, and the views
+  it enters;
+* every *client* reports per-transaction latency for committed replies.
+
+From these events the collector derives the four metrics of §IV-B:
+
+* **throughput** — committed transactions per second inside the measurement
+  window;
+* **latency** — client-observed commit latency (mean and percentiles);
+* **chain growth rate (CGR)** — the fraction of blocks appended to the chain
+  that end up committed, which isolates the damage done by forks from the
+  damage done by timeouts;
+* **block interval (BI)** — the average number of views between a block's
+  proposal view and the view in which the observer commits it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.types.block import Block
+
+
+@dataclass
+class CommittedBlockRecord:
+    """One committed block as seen by the observer replica."""
+
+    block_id: str
+    proposal_view: int
+    commit_view: int
+    height: int
+    num_transactions: int
+    committed_at: float
+
+
+@dataclass
+class RunMetrics:
+    """Summary of one experiment run."""
+
+    throughput_tps: float
+    mean_latency: float
+    median_latency: float
+    p99_latency: float
+    chain_growth_rate: float
+    block_interval: float
+    committed_transactions: int
+    committed_blocks: int
+    blocks_added: int
+    blocks_forked: int
+    safety_violations: int
+    latency_samples: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the benchmark report printers."""
+        return {
+            "throughput_tps": self.throughput_tps,
+            "mean_latency_ms": self.mean_latency * 1e3,
+            "median_latency_ms": self.median_latency * 1e3,
+            "p99_latency_ms": self.p99_latency * 1e3,
+            "chain_growth_rate": self.chain_growth_rate,
+            "block_interval": self.block_interval,
+            "committed_transactions": self.committed_transactions,
+            "committed_blocks": self.committed_blocks,
+            "blocks_added": self.blocks_added,
+            "blocks_forked": self.blocks_forked,
+            "safety_violations": self.safety_violations,
+        }
+
+
+class MetricsCollector:
+    """Accumulates raw events and computes the run metrics."""
+
+    def __init__(self, window_start: float = 0.0, window_end: Optional[float] = None) -> None:
+        self.window_start = window_start
+        self.window_end = window_end
+        self.latencies: List[Tuple[float, float]] = []
+        self.rejections: List[float] = []
+        self.timeouts: List[float] = []
+        self.committed_blocks: List[CommittedBlockRecord] = []
+        self.blocks_added: List[Tuple[float, int]] = []
+        self.blocks_forked: List[Tuple[float, int]] = []
+        self.views_entered: Dict[int, float] = {}
+        self.safety_violations = 0
+        self.observer: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # observer-side events
+    # ------------------------------------------------------------------
+    def record_block_added(self, node_id: str, block: Block, now: float) -> None:
+        """A block was added to the observer's forest."""
+        self.blocks_added.append((now, block.view))
+
+    def record_block_committed(self, node_id: str, block: Block, commit_view: int, now: float) -> None:
+        """A block was committed by the observer."""
+        self.committed_blocks.append(
+            CommittedBlockRecord(
+                block_id=block.block_id,
+                proposal_view=block.view,
+                commit_view=commit_view,
+                height=block.height,
+                num_transactions=block.num_transactions,
+                committed_at=now,
+            )
+        )
+
+    def record_block_forked(self, node_id: str, block: Block, now: float) -> None:
+        """A block was abandoned (pruned from a losing branch)."""
+        self.blocks_forked.append((now, block.view))
+
+    def record_view_entered(self, node_id: str, view: int, now: float) -> None:
+        """The observer entered a view."""
+        self.views_entered[view] = now
+
+    def record_safety_violation(self, node_id: str) -> None:
+        """The observer detected a conflicting commit (should never happen)."""
+        self.safety_violations += 1
+
+    # ------------------------------------------------------------------
+    # client-side events
+    # ------------------------------------------------------------------
+    def record_latency(self, txid: str, latency: float, now: float) -> None:
+        """A client observed a committed reply ``latency`` seconds after sending."""
+        self.latencies.append((now, latency))
+
+    def record_rejection(self, txid: str, now: float) -> None:
+        """A client request was rejected by a full mempool."""
+        self.rejections.append(now)
+
+    def record_timeout(self, txid: str, now: float) -> None:
+        """A client gave up on a request after its timeout."""
+        self.timeouts.append(now)
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    def _in_window(self, timestamp: float) -> bool:
+        if timestamp < self.window_start:
+            return False
+        if self.window_end is not None and timestamp > self.window_end:
+            return False
+        return True
+
+    def _window_length(self, fallback_end: float) -> float:
+        end = self.window_end if self.window_end is not None else fallback_end
+        return max(end - self.window_start, 1e-9)
+
+    def throughput(self) -> float:
+        """Committed transactions per second within the window."""
+        in_window = [r for r in self.committed_blocks if self._in_window(r.committed_at)]
+        total = sum(r.num_transactions for r in in_window)
+        last = max((r.committed_at for r in self.committed_blocks), default=self.window_start)
+        return total / self._window_length(last)
+
+    def latency_stats(self) -> Tuple[float, float, float]:
+        """(mean, median, p99) of client latencies within the window."""
+        samples = sorted(lat for now, lat in self.latencies if self._in_window(now))
+        if not samples:
+            return (0.0, 0.0, 0.0)
+        mean = statistics.fmean(samples)
+        median = samples[len(samples) // 2]
+        p99 = samples[min(len(samples) - 1, int(0.99 * len(samples)))]
+        return (mean, median, p99)
+
+    def chain_growth_rate(self) -> float:
+        """Committed blocks / blocks appended to the chain, within the window."""
+        added = [t for t, _view in self.blocks_added if self._in_window(t)]
+        if not added:
+            return 0.0
+        committed = [r for r in self.committed_blocks if self._in_window(r.committed_at)]
+        return min(1.0, len(committed) / len(added))
+
+    def block_interval(self) -> float:
+        """Mean number of views from a block's proposal to its commit."""
+        intervals = [
+            r.commit_view - r.proposal_view
+            for r in self.committed_blocks
+            if self._in_window(r.committed_at)
+        ]
+        if not intervals:
+            return 0.0
+        return statistics.fmean(intervals)
+
+    def throughput_timeline(self, bucket: float = 0.5, end: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Committed Tx/s per time bucket — used by the responsiveness figure."""
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        last_commit = max((r.committed_at for r in self.committed_blocks), default=0.0)
+        horizon = end if end is not None else last_commit
+        if horizon <= 0:
+            return []
+        buckets: Dict[int, int] = {}
+        for record in self.committed_blocks:
+            index = int(record.committed_at // bucket)
+            buckets[index] = buckets.get(index, 0) + record.num_transactions
+        points = []
+        for index in range(int(horizon // bucket) + 1):
+            points.append((index * bucket, buckets.get(index, 0) / bucket))
+        return points
+
+    def summarize(self) -> RunMetrics:
+        """Compute the standard summary of the run."""
+        mean, median, p99 = self.latency_stats()
+        in_window_commits = [r for r in self.committed_blocks if self._in_window(r.committed_at)]
+        return RunMetrics(
+            throughput_tps=self.throughput(),
+            mean_latency=mean,
+            median_latency=median,
+            p99_latency=p99,
+            chain_growth_rate=self.chain_growth_rate(),
+            block_interval=self.block_interval(),
+            committed_transactions=sum(r.num_transactions for r in in_window_commits),
+            committed_blocks=len(in_window_commits),
+            blocks_added=sum(1 for t, _ in self.blocks_added if self._in_window(t)),
+            blocks_forked=sum(1 for t, _ in self.blocks_forked if self._in_window(t)),
+            safety_violations=self.safety_violations,
+            latency_samples=sum(1 for t, _ in self.latencies if self._in_window(t)),
+        )

@@ -1,0 +1,207 @@
+"""Experiment runner: build a cluster from a configuration and run it.
+
+``build_cluster`` wires the scheduler, network, replicas (honest and
+Byzantine), clients, and metrics collector together; ``run_experiment`` runs
+the whole thing for the configured horizon and returns an
+:class:`ExperimentResult`.  Scenario-style experiments (responsiveness,
+fault injection) build the cluster themselves and inject events before
+running — see :mod:`repro.bench.timeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.config import Configuration
+from repro.bench.metrics import MetricsCollector, RunMetrics
+from repro.bench.profiles import cost_profile
+from repro.client.client import ClientBase, ClosedLoopClient, PoissonClient
+from repro.client.workload import WorkloadSpec
+from repro.core.byzantine import make_replica
+from repro.core.replica import Replica, ReplicaSettings
+from repro.crypto.keys import KeyRegistry
+from repro.election.election import make_election
+from repro.network.delays import NoDelay, NormalDelay
+from repro.network.network import Network
+from repro.sim.events import EventScheduler
+from repro.sim.random import RandomStreams
+from repro.types.sizes import SizeModel
+
+
+@dataclass
+class Cluster:
+    """A fully wired simulation ready to run."""
+
+    config: Configuration
+    scheduler: EventScheduler
+    streams: RandomStreams
+    network: Network
+    registry: KeyRegistry
+    replicas: Dict[str, Replica]
+    clients: List[ClientBase]
+    metrics: MetricsCollector
+    observer_id: str
+
+    def honest_replicas(self) -> List[Replica]:
+        """Replicas that follow the protocol."""
+        byzantine = set(self.config.byzantine_ids())
+        return [r for rid, r in self.replicas.items() if rid not in byzantine]
+
+    def start(self) -> None:
+        """Start every replica and client."""
+        for replica in self.replicas.values():
+            replica.start()
+        stop_time = self.config.warmup + self.config.runtime
+        for client in self.clients:
+            client.start(stop_time=stop_time)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation to ``until`` (default: the configured horizon)."""
+        horizon = until if until is not None else self.config.total_duration
+        self.scheduler.run_until(horizon)
+
+    def consistency_check(self) -> bool:
+        """True if every honest replica's committed chain is a consistent prefix."""
+        honest = self.honest_replicas()
+        if not honest:
+            return True
+        min_height = min(r.forest.committed_height for r in honest)
+        reference = honest[0].forest.consistency_hash(min_height)
+        return all(r.forest.consistency_hash(min_height) == reference for r in honest)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    config: Configuration
+    metrics: RunMetrics
+    consistent: bool
+    highest_view: int
+    timeline: List = field(default_factory=list)
+
+    @property
+    def throughput_ktps(self) -> float:
+        """Throughput in thousands of transactions per second."""
+        return self.metrics.throughput_tps / 1e3
+
+    @property
+    def latency_ms(self) -> float:
+        """Mean latency in milliseconds."""
+        return self.metrics.mean_latency * 1e3
+
+
+def build_cluster(config: Configuration) -> Cluster:
+    """Wire up a cluster (replicas, clients, network, metrics) per ``config``."""
+    scheduler = EventScheduler()
+    streams = RandomStreams(seed=config.seed)
+    base_delay = NormalDelay(config.base_delay_mean, config.base_delay_stddev)
+    if config.extra_delay_mean > 0:
+        extra_delay = NormalDelay(config.extra_delay_mean, config.extra_delay_stddev)
+    else:
+        extra_delay = NoDelay()
+    network = Network(
+        scheduler,
+        streams,
+        base_delay=base_delay,
+        extra_delay=extra_delay,
+        bandwidth_bps=config.bandwidth_bps,
+    )
+    registry = KeyRegistry(deployment_seed=config.seed)
+    node_ids = config.node_ids()
+    election = make_election(
+        node_ids, master=config.master, kind=config.election, seed=config.seed
+    )
+    metrics = MetricsCollector(
+        window_start=config.warmup, window_end=config.warmup + config.runtime
+    )
+
+    settings = ReplicaSettings(
+        block_size=config.block_size,
+        mempool_capacity=config.mempool_capacity,
+        view_timeout=config.view_timeout,
+        propose_wait_after_tc=config.propose_wait_after_tc,
+    )
+    costs = cost_profile(config.cost_profile)
+    sizes = SizeModel()
+    byzantine = set(config.byzantine_ids())
+    observer_id = node_ids[0]
+    metrics.observer = observer_id
+
+    replicas: Dict[str, Replica] = {}
+    for node_id in node_ids:
+        strategy = config.strategy if node_id in byzantine else ""
+        replica = make_replica(
+            strategy,
+            node_id,
+            scheduler,
+            network,
+            election,
+            registry,
+            node_ids,
+            protocol=config.protocol,
+            settings=settings,
+            cost_model=costs,
+            size_model=sizes,
+            metrics=metrics if node_id == observer_id else None,
+        )
+        replicas[node_id] = replica
+
+    clients: List[ClientBase] = []
+    workload = WorkloadSpec(payload_size=config.payload_size)
+    for index, client_id in enumerate(config.client_ids()):
+        if config.arrival_rate > 0:
+            client: ClientBase = PoissonClient(
+                client_id,
+                scheduler,
+                network,
+                streams,
+                node_ids,
+                workload=workload,
+                size_model=sizes,
+                metrics=metrics,
+                request_timeout=config.request_timeout,
+                rate=config.arrival_rate / config.num_clients,
+            )
+        else:
+            client = ClosedLoopClient(
+                client_id,
+                scheduler,
+                network,
+                streams,
+                node_ids,
+                workload=workload,
+                size_model=sizes,
+                metrics=metrics,
+                request_timeout=config.request_timeout,
+                concurrency=config.concurrency,
+            )
+        clients.append(client)
+
+    return Cluster(
+        config=config,
+        scheduler=scheduler,
+        streams=streams,
+        network=network,
+        registry=registry,
+        replicas=replicas,
+        clients=clients,
+        metrics=metrics,
+        observer_id=observer_id,
+    )
+
+
+def run_experiment(config: Configuration) -> ExperimentResult:
+    """Build, start, and run one experiment; return its summarized result."""
+    cluster = build_cluster(config)
+    cluster.start()
+    cluster.run()
+    observer = cluster.replicas[cluster.observer_id]
+    return ExperimentResult(
+        config=config,
+        metrics=cluster.metrics.summarize(),
+        consistent=cluster.consistency_check(),
+        highest_view=observer.pacemaker.stats.highest_view,
+        timeline=cluster.metrics.throughput_timeline(bucket=0.5, end=config.total_duration),
+    )

@@ -1,0 +1,104 @@
+"""Scenario runs with fault injection over time (paper §VI-D, Fig. 15).
+
+The responsiveness experiment runs four replicas under sustained load,
+injects ten seconds of network fluctuation (one-way delays varying between
+``fluctuation_min`` and ``fluctuation_max``), and afterwards crashes one
+replica (a permanent silence attack).  The outcome is a throughput timeline:
+responsive protocols (HotStuff) resume at network speed as soon as the
+fluctuation ends, while protocols that rely on conservative timeouts only
+make progress at the pace of their timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.bench.config import Configuration
+from repro.bench.runner import Cluster, build_cluster
+from repro.network.fluctuation import FluctuationWindow
+
+
+@dataclass
+class ResponsivenessScenario:
+    """Timing of the fluctuation window and the post-fluctuation crash."""
+
+    fluctuation_start: float = 5.0
+    fluctuation_duration: float = 10.0
+    fluctuation_min: float = 5e-3
+    fluctuation_max: float = 50e-3
+    crash_at: float = 20.0
+    total_duration: float = 40.0
+    bucket: float = 0.5
+
+    @property
+    def fluctuation_end(self) -> float:
+        """When the fluctuation window closes."""
+        return self.fluctuation_start + self.fluctuation_duration
+
+
+@dataclass
+class ResponsivenessResult:
+    """Throughput timeline and bookkeeping for one scenario run."""
+
+    config: Configuration
+    scenario: ResponsivenessScenario
+    timeline: List[Tuple[float, float]]
+    crashed_replica: str
+    consistent: bool
+    throughput_before: float = 0.0
+    throughput_during: float = 0.0
+    throughput_after: float = 0.0
+
+    def mean_throughput(self, start: float, end: float) -> float:
+        """Average Tx/s of the timeline buckets within [start, end)."""
+        values = [tps for t, tps in self.timeline if start <= t < end]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+
+def run_responsiveness(
+    config: Configuration, scenario: ResponsivenessScenario
+) -> ResponsivenessResult:
+    """Run the Fig. 15 scenario for one protocol/timeout configuration."""
+    run_config = config.replace(
+        warmup=0.0,
+        runtime=scenario.total_duration,
+        cooldown=0.0,
+    )
+    cluster = build_cluster(run_config)
+    cluster.network.add_fluctuation(
+        FluctuationWindow(
+            start=scenario.fluctuation_start,
+            end=scenario.fluctuation_end,
+            min_delay=scenario.fluctuation_min,
+            max_delay=scenario.fluctuation_max,
+        )
+    )
+    # Crash the last replica: the observer (r0) stays honest and running.
+    crashed_id = run_config.node_ids()[-1]
+    cluster.scheduler.call_at(
+        scenario.crash_at, cluster.replicas[crashed_id].crash
+    )
+    cluster.start()
+    cluster.run(until=scenario.total_duration)
+
+    timeline = cluster.metrics.throughput_timeline(
+        bucket=scenario.bucket, end=scenario.total_duration
+    )
+    result = ResponsivenessResult(
+        config=run_config,
+        scenario=scenario,
+        timeline=timeline,
+        crashed_replica=crashed_id,
+        consistent=cluster.consistency_check(),
+    )
+    result.throughput_before = result.mean_throughput(0.0, scenario.fluctuation_start)
+    result.throughput_during = result.mean_throughput(
+        scenario.fluctuation_start, scenario.fluctuation_end
+    )
+    result.throughput_after = result.mean_throughput(
+        scenario.crash_at, scenario.total_duration
+    )
+    return result

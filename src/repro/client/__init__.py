@@ -1,0 +1,6 @@
+"""Client library: closed-loop and open-loop (Poisson) workload generators."""
+
+from repro.client.client import ClientBase, ClosedLoopClient, PoissonClient
+from repro.client.workload import WorkloadSpec
+
+__all__ = ["ClientBase", "ClosedLoopClient", "PoissonClient", "WorkloadSpec"]

@@ -1,0 +1,214 @@
+"""Clients issuing transactions to the replicated service.
+
+Two client models are provided, matching the two ways the paper drives load:
+
+* :class:`ClosedLoopClient` keeps a fixed number of requests outstanding
+  (Table I's ``concurrency``); the benchmark saturates the system by raising
+  the concurrency level, exactly as §VI does.
+* :class:`PoissonClient` issues requests as an open-loop Poisson process with
+  a configurable rate, which is the arrival model assumed by the analytical
+  queuing model (§V) and is used for the model-validation experiment and
+  Table II.
+
+Clients pick a uniformly random replica per request, measure latency from
+submission to the committed reply, and report it to the metrics collector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.network.network import Network
+from repro.sim.events import Event, EventScheduler
+from repro.sim.random import RandomStreams
+from repro.types.messages import ClientReply, ClientRequest, Message
+from repro.types.sizes import SizeModel
+from repro.types.transaction import Transaction
+from repro.client.workload import WorkloadSpec
+
+#: Backoff before re-submitting a request that was rejected by a full mempool.
+REJECTION_BACKOFF = 2e-3
+
+
+class ClientBase:
+    """Shared plumbing for the two client models."""
+
+    def __init__(
+        self,
+        client_id: str,
+        scheduler: EventScheduler,
+        network: Network,
+        streams: RandomStreams,
+        replicas: List[str],
+        workload: Optional[WorkloadSpec] = None,
+        size_model: Optional[SizeModel] = None,
+        metrics=None,
+        request_timeout: float = 1.0,
+    ) -> None:
+        if not replicas:
+            raise ValueError("client needs at least one replica to talk to")
+        if request_timeout <= 0:
+            raise ValueError(f"request_timeout must be positive, got {request_timeout}")
+        self.client_id = client_id
+        self.scheduler = scheduler
+        self.network = network
+        self.streams = streams
+        self.replicas = list(replicas)
+        self.workload = workload if workload is not None else WorkloadSpec()
+        self.size_model = size_model if size_model is not None else SizeModel()
+        self.metrics = metrics
+        self.request_timeout = request_timeout
+
+        self._outstanding: Dict[str, float] = {}
+        self._timers: Dict[str, Event] = {}
+        self._stop_time: Optional[float] = None
+        self.requests_sent = 0
+        self.replies_committed = 0
+        self.replies_rejected = 0
+        self.requests_timed_out = 0
+
+        network.register(client_id, self.deliver)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, stop_time: Optional[float] = None) -> None:
+        """Begin issuing requests; subclasses define the arrival pattern."""
+        self._stop_time = stop_time
+        self._begin()
+
+    def _begin(self) -> None:
+        raise NotImplementedError
+
+    def _issuing_allowed(self) -> bool:
+        if self._stop_time is None:
+            return True
+        return self.scheduler.now < self._stop_time
+
+    # ------------------------------------------------------------------
+    # request submission and reply handling
+    # ------------------------------------------------------------------
+    def _submit_request(self) -> Optional[str]:
+        if not self._issuing_allowed():
+            return None
+        rng = self.streams.get(f"client:{self.client_id}")
+        operation = self.workload.operation_for(rng.random())
+        transaction = Transaction.create(
+            client_id=self.client_id,
+            created_at=self.scheduler.now,
+            payload_size=self.workload.payload_size,
+            operation=operation,
+            key=f"k{rng.randrange(self.workload.key_space)}",
+            value=f"v{self.requests_sent}",
+        )
+        replica = rng.choice(self.replicas)
+        request = ClientRequest(
+            sender=self.client_id,
+            size_bytes=self.size_model.client_request_size(transaction.payload_size),
+            transaction=transaction,
+        )
+        self._outstanding[transaction.txid] = self.scheduler.now
+        self._timers[transaction.txid] = self.scheduler.call_after(
+            self.request_timeout, self._expire, transaction.txid
+        )
+        self.requests_sent += 1
+        self.network.send(self.client_id, replica, request)
+        return transaction.txid
+
+    def _expire(self, txid: str) -> None:
+        """Give up on a request that received no reply within the timeout.
+
+        The transaction may still commit later (it is not withdrawn from the
+        replicas), but the client stops waiting for it — as a real benchmark
+        client with an HTTP timeout would — and the closed-loop subclass
+        issues a replacement request to another randomly chosen replica.
+        """
+        if self._outstanding.pop(txid, None) is None:
+            return
+        self._timers.pop(txid, None)
+        self.requests_timed_out += 1
+        if self.metrics is not None:
+            self.metrics.record_timeout(txid, self.scheduler.now)
+        self._on_timed_out(txid)
+
+    def _on_timed_out(self, txid: str) -> None:
+        """Hook for subclasses (closed-loop clients issue a replacement)."""
+
+    def deliver(self, message: Message) -> None:
+        """Network delivery callback for replies."""
+        if not isinstance(message, ClientReply):
+            return
+        sent_at = self._outstanding.pop(message.txid, None)
+        if sent_at is None:
+            # Duplicate reply, or a reply for a request the client already
+            # gave up on; ignore.
+            return
+        timer = self._timers.pop(message.txid, None)
+        if timer is not None:
+            timer.cancel()
+        if message.status == "committed":
+            self.replies_committed += 1
+            latency = self.scheduler.now - sent_at
+            if self.metrics is not None:
+                self.metrics.record_latency(message.txid, latency, self.scheduler.now)
+            self._on_committed(message.txid, latency)
+        else:
+            self.replies_rejected += 1
+            if self.metrics is not None:
+                self.metrics.record_rejection(message.txid, self.scheduler.now)
+            self._on_rejected(message.txid)
+
+    def _on_committed(self, txid: str, latency: float) -> None:
+        """Hook for subclasses (closed-loop clients issue the next request)."""
+
+    def _on_rejected(self, txid: str) -> None:
+        """Hook for subclasses (closed-loop clients retry after a backoff)."""
+
+
+class ClosedLoopClient(ClientBase):
+    """Keeps ``concurrency`` requests outstanding at all times."""
+
+    def __init__(self, *args, concurrency: int = 10, **kwargs) -> None:
+        if concurrency <= 0:
+            raise ValueError(f"concurrency must be positive, got {concurrency}")
+        super().__init__(*args, **kwargs)
+        self.concurrency = concurrency
+
+    def _begin(self) -> None:
+        for _ in range(self.concurrency):
+            self._submit_request()
+
+    def _on_committed(self, txid: str, latency: float) -> None:
+        self._submit_request()
+
+    def _on_rejected(self, txid: str) -> None:
+        if self._issuing_allowed():
+            self.scheduler.call_after(REJECTION_BACKOFF, self._submit_request)
+
+    def _on_timed_out(self, txid: str) -> None:
+        self._submit_request()
+
+
+class PoissonClient(ClientBase):
+    """Open-loop client issuing requests as a Poisson process."""
+
+    def __init__(self, *args, rate: float = 100.0, **kwargs) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        super().__init__(*args, **kwargs)
+        self.rate = rate
+
+    def _begin(self) -> None:
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        if not self._issuing_allowed():
+            return
+        gap = self.streams.exponential(f"arrivals:{self.client_id}", self.rate)
+        self.scheduler.call_after(gap, self._arrive)
+
+    def _arrive(self) -> None:
+        if not self._issuing_allowed():
+            return
+        self._submit_request()
+        self._schedule_next_arrival()

@@ -1,0 +1,12 @@
+"""The replica node: where the shared modules and the safety rules meet."""
+
+from repro.core.byzantine import ForkingReplica, SilentReplica, make_replica
+from repro.core.replica import Replica, ReplicaSettings
+
+__all__ = [
+    "ForkingReplica",
+    "Replica",
+    "ReplicaSettings",
+    "SilentReplica",
+    "make_replica",
+]

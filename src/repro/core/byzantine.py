@@ -1,0 +1,101 @@
+"""Byzantine replica strategies (paper §IV-A).
+
+Both strategies are implemented the way Bamboo implements them: by modifying
+the Proposing rule only.  The attackers never violate the voting rule of
+honest replicas — their proposals remain "valid" from an outsider's view —
+which is what makes the attacks hard to detect while still degrading
+performance.
+
+* **Forking attack** — the Byzantine leader proposes a block extending an
+  older ancestor, abandoning (and eventually overwriting) the uncommitted
+  tail of the chain.  How far back it can fork is bounded by the honest
+  replicas' lock: two blocks in HotStuff, one in two-chain HotStuff, none in
+  Streamlet (whose longest-chain voting rule makes the deepest acceptable
+  fork target the chain tip itself, i.e. honest behaviour).
+* **Silence attack** — the Byzantine leader simply does not propose during
+  its views, forcing a timeout and (in the HotStuff variants) the loss of the
+  quorum certificate for the previous block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.replica import Replica
+from repro.protocols.safety import ProposalPlan
+
+
+class SilentReplica(Replica):
+    """A replica that stays silent whenever it is the leader."""
+
+    strategy = "silence"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.views_silenced = 0
+
+    def _propose(self, view: int) -> None:
+        # Remain silent for the whole view; honest replicas will time out.
+        self.views_silenced += 1
+
+
+class ForkingReplica(Replica):
+    """A replica that forks the chain as deeply as the voting rule allows."""
+
+    strategy = "forking"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.forks_attempted = 0
+
+    def _proposal_plan(self) -> Optional[ProposalPlan]:
+        honest_plan = self.safety.choose_extension()
+        depth = self._fork_depth()
+        if depth <= 0:
+            return honest_plan
+        # Honest replicas have seen certificates only up to the highest QC
+        # that was embedded in a disseminated proposal; their lock trails it
+        # by (depth - 1) blocks.  Building on that lock keeps the proposal
+        # acceptable to them while abandoning everything above it.
+        target = self.forest.maybe_get(self.safety.public_high_qc.block_id)
+        if target is None:
+            return honest_plan
+        for _ in range(depth - 1):
+            parent = self.forest.maybe_get(target.block.parent_id)
+            if parent is None:
+                break
+            target = parent
+        if not target.certified or target.qc is None:
+            return honest_plan
+        if target.block_id == honest_plan.parent_id:
+            return honest_plan
+        self.forks_attempted += 1
+        return ProposalPlan(parent_id=target.block_id, qc=target.qc)
+
+    def _fork_depth(self) -> int:
+        """How many uncommitted blocks the attacker can overwrite."""
+        if self.safety.votes_broadcast and self.safety.protocol_name == "streamlet":
+            # Honest replicas only vote for extensions of the longest
+            # notarized chain, so no fork target deeper than the tip exists.
+            return 0
+        return self.safety.commit_rule_depth - 1
+
+
+_STRATEGIES = {
+    "": Replica,
+    "none": Replica,
+    "honest": Replica,
+    "silence": SilentReplica,
+    "forking": ForkingReplica,
+}
+
+
+def make_replica(strategy: str, *args, **kwargs) -> Replica:
+    """Instantiate a replica with the given Byzantine strategy ("" = honest)."""
+    key = strategy.lower()
+    if key not in _STRATEGIES:
+        raise ValueError(
+            f"unknown Byzantine strategy {strategy!r}; expected one of "
+            f"{sorted(k for k in _STRATEGIES if k)}"
+        )
+    return _STRATEGIES[key](*args, **kwargs)

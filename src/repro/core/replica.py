@@ -1,0 +1,497 @@
+"""The replica: the event loop tying every Bamboo module together.
+
+A replica owns a block forest, a mempool, a safety module (the protocol's
+four rules), a pacemaker, a quorum tracker, an execution layer, and a CPU
+modelled as a FIFO server.  It reacts to messages delivered by the network:
+
+* client requests are admitted to the mempool;
+* proposals are validated, added to the forest, voted on per the voting
+  rule, and (in Streamlet) echoed;
+* votes are aggregated into quorum certificates, which update the protocol
+  state, may satisfy the commit rule, and advance the view;
+* timeout messages feed the pacemaker, which forms timeout certificates and
+  advances the view when a quorum of replicas is stuck.
+
+Whenever the replica enters a view it leads, it batches transactions from
+its mempool and broadcasts a proposal.  Byzantine behaviours (paper §IV-A)
+are expressed by overriding the proposing rule in subclasses — exactly how
+Bamboo implements them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.costs import CryptoCostModel
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import sign
+from repro.election.election import LeaderElection
+from repro.executor.kvstore import KeyValueStore
+from repro.forest.forest import BlockForest, ForestError
+from repro.mempool.mempool import Mempool
+from repro.network.network import Network
+from repro.pacemaker.pacemaker import Pacemaker, ViewChangeReason
+from repro.protocols.registry import make_safety
+from repro.protocols.safety import ProposalPlan
+from repro.quorum.quorum import QuorumTracker, TimeoutTracker
+from repro.sim.events import EventScheduler
+from repro.sim.resources import FifoServer
+from repro.types.block import Block, make_block
+from repro.types.certificates import (
+    QuorumCertificate,
+    Timeout,
+    Vote,
+    timeout_digest,
+    vote_digest,
+)
+from repro.types.messages import (
+    ClientReply,
+    ClientRequest,
+    Message,
+    ProposalMessage,
+    TimeoutMessage,
+    VoteMessage,
+)
+from repro.types.sizes import SizeModel
+from repro.types.transaction import Transaction
+
+#: CPU time charged for admitting one client request to the mempool.
+CLIENT_REQUEST_CPU_COST = 5e-6
+#: CPU time charged for processing a loopback copy of the replica's own message.
+LOOPBACK_CPU_COST = 1e-6
+
+
+@dataclass
+class ReplicaSettings:
+    """Node-level configuration (a subset of Table I).
+
+    Attributes
+    ----------
+    block_size:
+        Maximum number of transactions per block (``bsize``).
+    mempool_capacity:
+        Maximum number of pending transactions held (``memsize``).
+    view_timeout:
+        Pacemaker timeout before a view is declared stuck (``timeout``).
+    propose_wait_after_tc:
+        Extra wait a leader observes before proposing when its view started
+        with a timeout certificate.  Zero models the "propose as soon as
+        2f+1 messages are received" behaviour of the responsiveness
+        experiment's first setting; setting it to the view timeout models the
+        second setting.
+    prune_forks:
+        Whether abandoned branches are pruned (and their transactions
+        recycled into the mempool) after each commit.
+    """
+
+    block_size: int = 400
+    mempool_capacity: int = 1000
+    view_timeout: float = 0.1
+    propose_wait_after_tc: float = 0.0
+    prune_forks: bool = True
+
+
+@dataclass
+class ReplicaStats:
+    """Counters exposed for tests and benchmark reports."""
+
+    proposals_sent: int = 0
+    proposals_received: int = 0
+    votes_sent: int = 0
+    votes_received: int = 0
+    timeouts_sent: int = 0
+    timeouts_received: int = 0
+    client_requests: int = 0
+    client_rejections: int = 0
+    qcs_formed: int = 0
+    blocks_committed: int = 0
+    transactions_committed: int = 0
+    safety_violations: int = 0
+    stale_proposals_dropped: int = 0
+
+
+class Replica:
+    """A correct (honest) replica."""
+
+    def __init__(
+        self,
+        node_id: str,
+        scheduler: EventScheduler,
+        network: Network,
+        election: LeaderElection,
+        registry: KeyRegistry,
+        peers: List[str],
+        protocol: str = "hotstuff",
+        settings: Optional[ReplicaSettings] = None,
+        cost_model: Optional[CryptoCostModel] = None,
+        size_model: Optional[SizeModel] = None,
+        metrics=None,
+    ) -> None:
+        self.node_id = node_id
+        self.scheduler = scheduler
+        self.network = network
+        self.election = election
+        self.registry = registry
+        self.peers = list(peers)
+        self.settings = settings if settings is not None else ReplicaSettings()
+        self.cost_model = cost_model if cost_model is not None else CryptoCostModel()
+        self.size_model = size_model if size_model is not None else SizeModel()
+        self.metrics = metrics
+
+        self.keypair = registry.register(node_id)
+        self.forest = BlockForest()
+        self.safety = make_safety(protocol, self.forest)
+        self.mempool = Mempool(capacity=self.settings.mempool_capacity)
+        self.kvstore = KeyValueStore()
+        self.cpu = FifoServer(scheduler, name=f"{node_id}.cpu")
+        self.quorum = QuorumTracker(len(self.peers), registry)
+        self.timeouts = TimeoutTracker(len(self.peers), registry)
+        self.pacemaker = Pacemaker(
+            scheduler=scheduler,
+            node_id=node_id,
+            timeout_tracker=self.timeouts,
+            view_timeout=self.settings.view_timeout,
+            on_view_start=self._on_view_start,
+            on_local_timeout=self._on_local_timeout,
+        )
+        self.stats = ReplicaStats()
+
+        self._origin_clients: Dict[str, str] = {}
+        self._pending_blocks: Dict[str, List[Block]] = {}
+        self._pending_qcs: Dict[str, QuorumCertificate] = {}
+        self._replied_txids: set[str] = set()
+        self._last_proposed_view = 0
+        self._crashed = False
+
+        network.register(node_id, self.deliver)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, initial_view: int = 1) -> None:
+        """Begin participating: enter the first view and arm the pacemaker."""
+        self.pacemaker.start(initial_view)
+
+    def crash(self) -> None:
+        """Stop participating entirely (used by fault-injection experiments)."""
+        self._crashed = True
+        self.pacemaker.stop()
+        self.network.crash(self.node_id)
+
+    @property
+    def current_view(self) -> int:
+        """The replica's current view per its pacemaker."""
+        return self.pacemaker.current_view
+
+    def is_leader(self, view: int) -> bool:
+        """True if this replica leads ``view``."""
+        return self.election.leader(view) == self.node_id
+
+    # ------------------------------------------------------------------
+    # message entry point
+    # ------------------------------------------------------------------
+    def deliver(self, message: Message) -> None:
+        """Network delivery callback: charge CPU, then process."""
+        if self._crashed:
+            return
+        cost = self._processing_cost(message)
+        if isinstance(message, ClientRequest):
+            self.cpu.submit(cost, lambda: self._process_client_request(message))
+        elif isinstance(message, ProposalMessage):
+            self.cpu.submit(cost, lambda: self._process_proposal(message))
+        elif isinstance(message, VoteMessage):
+            self.cpu.submit(cost, lambda: self._process_vote(message))
+        elif isinstance(message, TimeoutMessage):
+            self.cpu.submit(cost, lambda: self._process_timeout(message))
+        # Other message kinds (client replies) are not addressed to replicas
+        # and are silently ignored.
+
+    def _processing_cost(self, message: Message) -> float:
+        """CPU service time for validating an incoming message."""
+        if message.sender == self.node_id:
+            return LOOPBACK_CPU_COST
+        if isinstance(message, ClientRequest):
+            return CLIENT_REQUEST_CPU_COST
+        if isinstance(message, ProposalMessage):
+            return self.cost_model.proposal_verify_cost(message.block.num_transactions)
+        if isinstance(message, VoteMessage):
+            return self.cost_model.vote_verify_cost()
+        if isinstance(message, TimeoutMessage):
+            return self.cost_model.timeout_verify_cost()
+        return LOOPBACK_CPU_COST
+
+    # ------------------------------------------------------------------
+    # client requests
+    # ------------------------------------------------------------------
+    def _process_client_request(self, message: ClientRequest) -> None:
+        transaction = message.transaction
+        self.stats.client_requests += 1
+        self._origin_clients[transaction.txid] = message.sender
+        if self.kvstore.was_applied(transaction.txid):
+            self._reply(transaction.txid, status="committed")
+            return
+        accepted = self.mempool.add(transaction)
+        if not accepted:
+            self.stats.client_rejections += 1
+            self._reply(transaction.txid, status="rejected")
+
+    def _reply(self, txid: str, status: str) -> None:
+        client = self._origin_clients.get(txid)
+        if client is None or txid in self._replied_txids:
+            return
+        if status == "committed":
+            self._replied_txids.add(txid)
+        reply = ClientReply(
+            sender=self.node_id,
+            size_bytes=self.size_model.client_reply_size,
+            txid=txid,
+            committed_at=self.scheduler.now,
+            replica=self.node_id,
+            status=status,
+        )
+        try:
+            self.network.send(self.node_id, client, reply)
+        except KeyError:
+            # The client endpoint was not registered (fire-and-forget loads).
+            pass
+
+    # ------------------------------------------------------------------
+    # proposals
+    # ------------------------------------------------------------------
+    def _process_proposal(self, message: ProposalMessage) -> None:
+        block = message.block
+        self.stats.proposals_received += 1
+        if block.block_id in self.forest:
+            return
+        self._maybe_echo_proposal(message)
+        if block.parent_id is not None and block.parent_id not in self.forest:
+            self._pending_blocks.setdefault(block.parent_id, []).append(block)
+            return
+        self._accept_block(block)
+
+    def _accept_block(self, block: Block) -> None:
+        try:
+            self.forest.add_block(block, added_at=self.scheduler.now)
+        except ForestError:
+            return
+        if self.metrics is not None:
+            self.metrics.record_block_added(self.node_id, block, self.scheduler.now)
+        if block.qc is not None:
+            self.safety.note_embedded_qc(block.qc)
+            self._after_new_qc(block.qc)
+        pending_qc = self._pending_qcs.pop(block.block_id, None)
+        if pending_qc is not None:
+            self.safety.update_qc(pending_qc)
+            self._after_new_qc(pending_qc)
+        self._maybe_vote(block)
+        # Unblock any buffered children now that their parent is known.
+        for child in self._pending_blocks.pop(block.block_id, []):
+            if child.block_id not in self.forest:
+                self._accept_block(child)
+
+    def _maybe_vote(self, block: Block) -> None:
+        if not self.safety.should_vote(block):
+            return
+        self.safety.record_vote_sent(block)
+        self.cpu.submit(self.cost_model.vote_build_cost(), lambda: self._send_vote(block))
+
+    def _send_vote(self, block: Block) -> None:
+        digest = vote_digest(block.block_id, block.view)
+        vote = Vote(
+            voter=self.node_id,
+            block_id=block.block_id,
+            view=block.view,
+            signature=sign(self.keypair, digest),
+        )
+        message = VoteMessage(
+            sender=self.node_id, size_bytes=self.size_model.vote_size(), vote=vote
+        )
+        self.stats.votes_sent += 1
+        if self.safety.votes_broadcast:
+            self.network.broadcast(self.node_id, self.peers, message, include_self=True)
+        else:
+            next_leader = self.election.leader(block.view + 1)
+            self.network.send(self.node_id, next_leader, message)
+
+    def _maybe_echo_proposal(self, message: ProposalMessage) -> None:
+        if not self.safety.echo_messages:
+            return
+        if message.forwarded_by or message.sender == self.node_id:
+            return
+        echo = ProposalMessage(
+            sender=self.node_id,
+            size_bytes=message.size_bytes,
+            block=message.block,
+            view=message.view,
+            forwarded_by=self.node_id,
+        )
+        self.network.broadcast(self.node_id, self.peers, echo, include_self=False)
+
+    # ------------------------------------------------------------------
+    # votes and certificates
+    # ------------------------------------------------------------------
+    def _process_vote(self, message: VoteMessage) -> None:
+        vote = message.vote
+        self.stats.votes_received += 1
+        self._maybe_echo_vote(message)
+        qc = self.quorum.add_and_certify(vote)
+        if qc is None:
+            return
+        self.stats.qcs_formed += 1
+        if qc.block_id in self.forest:
+            self.safety.update_qc(qc)
+            self._after_new_qc(qc)
+        else:
+            self._pending_qcs[qc.block_id] = qc
+            if qc.view > self.safety.high_qc.view:
+                self.safety.high_qc = qc
+
+    def _maybe_echo_vote(self, message: VoteMessage) -> None:
+        if not self.safety.echo_messages:
+            return
+        if message.forwarded_by or message.sender == self.node_id:
+            return
+        echo = VoteMessage(
+            sender=self.node_id,
+            size_bytes=message.size_bytes,
+            vote=message.vote,
+            forwarded_by=self.node_id,
+        )
+        self.network.broadcast(self.node_id, self.peers, echo, include_self=False)
+
+    def _after_new_qc(self, qc: QuorumCertificate) -> None:
+        # Advance the view before committing so that the commit view recorded
+        # for the block-interval metric reflects the view in which the commit
+        # becomes visible (the paper's BI starts at 3 for HotStuff and 2 for
+        # two-chain HotStuff).
+        self.pacemaker.advance_on_qc(qc.view)
+        candidate = self.safety.commit_candidate(qc.block_id)
+        if candidate is not None:
+            self._commit(candidate)
+
+    # ------------------------------------------------------------------
+    # commitment
+    # ------------------------------------------------------------------
+    def _commit(self, block_id: str) -> None:
+        try:
+            newly = self.forest.commit(block_id, at_view=self.pacemaker.current_view)
+        except ForestError:
+            self.stats.safety_violations += 1
+            if self.metrics is not None:
+                self.metrics.record_safety_violation(self.node_id)
+            return
+        for vertex in newly:
+            block = vertex.block
+            self.stats.blocks_committed += 1
+            self.stats.transactions_committed += block.num_transactions
+            for transaction in block.transactions:
+                self.kvstore.apply(transaction)
+                self._reply(transaction.txid, status="committed")
+            self.mempool.mark_committed(block.transactions)
+            if self.metrics is not None:
+                self.metrics.record_block_committed(
+                    self.node_id,
+                    block,
+                    commit_view=self.pacemaker.current_view,
+                    now=self.scheduler.now,
+                )
+        if newly and self.settings.prune_forks:
+            self._recycle_forks()
+
+    def _recycle_forks(self) -> None:
+        removed = self.forest.prune(self.forest.committed_height)
+        if not removed:
+            return
+        recyclable: List[Transaction] = []
+        for vertex in removed:
+            for transaction in vertex.block.transactions:
+                if self.kvstore.was_applied(transaction.txid):
+                    continue
+                if transaction.txid not in self._origin_clients:
+                    continue
+                recyclable.append(transaction)
+        if recyclable:
+            self.mempool.requeue_front(recyclable)
+        if self.metrics is not None:
+            for vertex in removed:
+                self.metrics.record_block_forked(self.node_id, vertex.block, self.scheduler.now)
+
+    # ------------------------------------------------------------------
+    # pacemaker callbacks
+    # ------------------------------------------------------------------
+    def _on_view_start(self, view: int, reason: ViewChangeReason) -> None:
+        if self.metrics is not None:
+            self.metrics.record_view_entered(self.node_id, view, self.scheduler.now)
+        if not self.is_leader(view):
+            return
+        delay = 0.0
+        if reason is ViewChangeReason.TC:
+            delay = self.settings.propose_wait_after_tc
+        if delay > 0:
+            self.scheduler.call_after(delay, self._propose, view)
+        else:
+            self._propose(view)
+
+    def _on_local_timeout(self, view: int) -> None:
+        self.cpu.submit(self.cost_model.timeout_build_cost(), lambda: self._send_timeout(view))
+
+    def _send_timeout(self, view: int) -> None:
+        if view != self.pacemaker.current_view:
+            return
+        timeout = Timeout(
+            voter=self.node_id,
+            view=view,
+            high_qc_view=self.safety.high_qc.view,
+            signature=sign(self.keypair, timeout_digest(view)),
+        )
+        message = TimeoutMessage(
+            sender=self.node_id,
+            size_bytes=self.size_model.timeout_message_size,
+            timeout=timeout,
+        )
+        self.stats.timeouts_sent += 1
+        self.network.broadcast(self.node_id, self.peers, message, include_self=True)
+
+    def _process_timeout(self, message: TimeoutMessage) -> None:
+        self.stats.timeouts_received += 1
+        tc = self.pacemaker.process_remote_timeout(message.timeout)
+        if tc is not None:
+            self.pacemaker.advance_on_tc(tc)
+
+    # ------------------------------------------------------------------
+    # proposing
+    # ------------------------------------------------------------------
+    def _proposal_plan(self) -> Optional[ProposalPlan]:
+        """The proposing rule; Byzantine subclasses override this."""
+        return self.safety.choose_extension()
+
+    def _propose(self, view: int) -> None:
+        if self._crashed:
+            return
+        if view != self.pacemaker.current_view or view <= self._last_proposed_view:
+            return
+        plan = self._proposal_plan()
+        if plan is None or plan.parent_id not in self.forest:
+            return
+        self._last_proposed_view = view
+        parent = self.forest.get_block(plan.parent_id)
+        batch = self.mempool.next_batch(self.settings.block_size)
+        block = make_block(view, parent, plan.qc, self.node_id, batch)
+        cost = self.cost_model.proposal_build_cost(len(batch))
+        self.cpu.submit(cost, lambda: self._broadcast_proposal(block, view, batch))
+
+    def _broadcast_proposal(self, block: Block, view: int, batch: Tuple[Transaction, ...]) -> None:
+        if view != self.pacemaker.current_view:
+            # The view moved on while the proposal was being built; recycle
+            # the batched transactions so they are not lost.
+            self.stats.stale_proposals_dropped += 1
+            self.mempool.requeue_front(batch)
+            return
+        qc_signers = len(block.qc.signers) if block.qc is not None else 0
+        size = self.size_model.block_size_for(block.transactions, qc_signers)
+        message = ProposalMessage(
+            sender=self.node_id, size_bytes=size, block=block, view=view
+        )
+        self.stats.proposals_sent += 1
+        self.network.broadcast(self.node_id, self.peers, message, include_self=True)

@@ -1,0 +1,26 @@
+"""Simulated cryptographic substrate.
+
+Bamboo uses secp256k1 signatures for votes and quorum certificates.  In this
+reproduction the *cost* of cryptography matters (it is the t_CPU term of the
+paper's model) but its hardness does not, so signatures are simulated with
+keyed SHA-256 digests.  They still bind a signer identity to a message digest
+and are checked on receipt, so protocol logic (quorum thresholds, duplicate
+vote rejection, certificate validity) exercises the same code paths a real
+deployment would.
+"""
+
+from repro.crypto.costs import CryptoCostModel
+from repro.crypto.digest import digest_bytes, digest_fields
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.signatures import Signature, sign, verify
+
+__all__ = [
+    "CryptoCostModel",
+    "KeyPair",
+    "KeyRegistry",
+    "Signature",
+    "digest_bytes",
+    "digest_fields",
+    "sign",
+    "verify",
+]

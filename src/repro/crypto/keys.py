@@ -1,0 +1,73 @@
+"""Simulated key pairs and the cluster-wide key registry."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A replica's signing identity.
+
+    The "private key" is an HMAC secret derived from the node id and a
+    deployment seed; the "public key" is its hash.  Verification requires
+    knowing the secret, which the :class:`KeyRegistry` holds for every node —
+    this mirrors a permissioned deployment where the membership (and hence
+    every public key) is fixed in the configuration.
+    """
+
+    node_id: str
+    secret: bytes = field(repr=False)
+
+    @property
+    def public_key(self) -> str:
+        """Hex identifier of the public half of the key."""
+        return hashlib.sha256(b"pub:" + self.secret).hexdigest()
+
+    def mac(self, message: bytes) -> bytes:
+        """Return the raw authentication tag over ``message``."""
+        return hmac.new(self.secret, message, hashlib.sha256).digest()
+
+    @classmethod
+    def generate(cls, node_id: str, deployment_seed: int = 0) -> "KeyPair":
+        """Deterministically derive the key pair for ``node_id``."""
+        secret = hashlib.sha256(f"key:{deployment_seed}:{node_id}".encode("utf-8")).digest()
+        return cls(node_id=node_id, secret=secret)
+
+
+class KeyRegistry:
+    """Holds the key pairs of every node in the deployment.
+
+    In a permissioned blockchain the validator set and its public keys are
+    part of the static configuration, so every replica can verify every other
+    replica's signatures.  The registry plays that role for the simulation.
+    """
+
+    def __init__(self, deployment_seed: int = 0) -> None:
+        self.deployment_seed = deployment_seed
+        self._keys: Dict[str, KeyPair] = {}
+
+    def register(self, node_id: str) -> KeyPair:
+        """Create (or return) the key pair for ``node_id``."""
+        if node_id not in self._keys:
+            self._keys[node_id] = KeyPair.generate(node_id, self.deployment_seed)
+        return self._keys[node_id]
+
+    def get(self, node_id: str) -> KeyPair:
+        """Return the key pair for a registered node."""
+        if node_id not in self._keys:
+            raise KeyError(f"unknown node: {node_id!r}")
+        return self._keys[node_id]
+
+    def known_nodes(self) -> list[str]:
+        """All node ids with registered keys."""
+        return sorted(self._keys)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)

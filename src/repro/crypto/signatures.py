@@ -1,0 +1,44 @@
+"""Simulated signatures over message digests."""
+
+from __future__ import annotations
+
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyPair, KeyRegistry
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature binding a signer to a digest.
+
+    ``tag`` is the authentication tag produced by the signer's key over the
+    digest.  Equality and hashing include the signer so a quorum certificate
+    can deduplicate votes per signer.
+    """
+
+    signer: str
+    digest: str
+    tag: bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signature(signer={self.signer!r}, digest={self.digest[:12]}...)"
+
+
+def sign(keypair: KeyPair, digest: str) -> Signature:
+    """Sign ``digest`` with ``keypair``."""
+    tag = keypair.mac(digest.encode("ascii"))
+    return Signature(signer=keypair.node_id, digest=digest, tag=tag)
+
+
+def verify(registry: KeyRegistry, signature: Signature) -> bool:
+    """Check that ``signature`` was produced by its claimed signer.
+
+    Returns ``False`` for unknown signers or forged tags rather than raising,
+    because a Byzantine peer may send arbitrary garbage and the replica must
+    simply discard it.
+    """
+    if signature.signer not in registry:
+        return False
+    expected = registry.get(signature.signer).mac(signature.digest.encode("ascii"))
+    return hmac.compare_digest(expected, signature.tag)

@@ -1,0 +1,17 @@
+"""Leader election strategies."""
+
+from repro.election.election import (
+    HashBasedElection,
+    LeaderElection,
+    RoundRobinElection,
+    StaticLeaderElection,
+    make_election,
+)
+
+__all__ = [
+    "HashBasedElection",
+    "LeaderElection",
+    "RoundRobinElection",
+    "StaticLeaderElection",
+    "make_election",
+]

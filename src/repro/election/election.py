@@ -1,0 +1,84 @@
+"""Leader election: mapping views to designated leaders.
+
+All strategies are deterministic functions of the view so that every replica
+independently agrees on the leader without communication, as required by the
+propose-vote scheme.  The ``master`` configuration parameter of Table I maps
+to :class:`StaticLeaderElection`; the default (``master = 0``) is rotation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from repro.crypto.digest import digest_fields
+
+
+class LeaderElection(ABC):
+    """Deterministically selects the leader of each view."""
+
+    def __init__(self, nodes: Sequence[str]) -> None:
+        if not nodes:
+            raise ValueError("election requires at least one node")
+        self.nodes: List[str] = list(nodes)
+
+    @abstractmethod
+    def leader(self, view: int) -> str:
+        """Return the node id of the leader for ``view``."""
+
+    def is_leader(self, node_id: str, view: int) -> bool:
+        """True if ``node_id`` leads ``view``."""
+        return self.leader(view) == node_id
+
+
+class RoundRobinElection(LeaderElection):
+    """Rotate leadership through the node list, one view per node."""
+
+    def leader(self, view: int) -> str:
+        return self.nodes[view % len(self.nodes)]
+
+
+class StaticLeaderElection(LeaderElection):
+    """A single stable leader (PBFT-style), used when ``master`` is set."""
+
+    def __init__(self, nodes: Sequence[str], master: str) -> None:
+        super().__init__(nodes)
+        if master not in self.nodes:
+            raise ValueError(f"master {master!r} is not one of the nodes")
+        self.master = master
+
+    def leader(self, view: int) -> str:
+        return self.master
+
+
+class HashBasedElection(LeaderElection):
+    """Pseudo-random rotation derived from a hash of the view and a seed.
+
+    This is the "leader election based on hash functions" design choice the
+    paper's model discussion mentions (§V-E); it removes the predictability
+    of round-robin while staying deterministic across replicas.
+    """
+
+    def __init__(self, nodes: Sequence[str], seed: int = 0) -> None:
+        super().__init__(nodes)
+        self.seed = seed
+
+    def leader(self, view: int) -> str:
+        digest = digest_fields("leader", self.seed, view)
+        index = int(digest[:16], 16) % len(self.nodes)
+        return self.nodes[index]
+
+
+def make_election(nodes: Sequence[str], master: str = "", kind: str = "round-robin", seed: int = 0) -> LeaderElection:
+    """Build an election strategy from configuration values.
+
+    ``master`` (a node id) takes precedence, matching Table I where a
+    non-zero ``master`` selects a static leader.
+    """
+    if master:
+        return StaticLeaderElection(nodes, master)
+    if kind == "round-robin":
+        return RoundRobinElection(nodes)
+    if kind == "hash":
+        return HashBasedElection(nodes, seed=seed)
+    raise ValueError(f"unknown election kind {kind!r}")

@@ -1,0 +1,5 @@
+"""Execution layer: the in-memory key-value store applied on commit."""
+
+from repro.executor.kvstore import KeyValueStore
+
+__all__ = ["KeyValueStore"]

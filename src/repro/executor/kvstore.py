@@ -1,0 +1,59 @@
+"""In-memory key-value execution layer.
+
+The paper's evaluation focuses on protocol-level performance and uses an
+in-memory key-value store as the execution layer (§III-D).  The store applies
+committed transactions in commit order and remembers which transaction ids
+have been applied, which lets the replica avoid re-proposing transactions
+that already committed via another branch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.types.transaction import Transaction
+
+
+class KeyValueStore:
+    """Deterministic key-value state machine."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, str] = {}
+        self._applied: Set[str] = set()
+        self.operations_applied = 0
+
+    def apply(self, transaction: Transaction) -> Optional[str]:
+        """Apply one committed transaction; returns the read result for gets.
+
+        Re-applying a transaction id is a no-op: commits are idempotent so a
+        transaction that appears both in a forked block and in the main chain
+        only takes effect once.
+        """
+        if transaction.txid in self._applied:
+            return None
+        self._applied.add(transaction.txid)
+        self.operations_applied += 1
+        if transaction.operation == "put":
+            self._data[transaction.key] = transaction.value
+            return None
+        if transaction.operation == "get":
+            return self._data.get(transaction.key)
+        if transaction.operation == "delete":
+            self._data.pop(transaction.key, None)
+            return None
+        raise ValueError(f"unknown operation {transaction.operation!r}")
+
+    def get(self, key: str) -> Optional[str]:
+        """Read a key directly (used by tests and examples)."""
+        return self._data.get(key)
+
+    def was_applied(self, txid: str) -> bool:
+        """True if the transaction id has already been executed."""
+        return txid in self._applied
+
+    def state_digest(self) -> int:
+        """A cheap state fingerprint for cross-replica consistency checks."""
+        return hash(frozenset(self._data.items()))
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,322 @@
+"""The block forest: height-indexed block trees with pruning and a main chain.
+
+The forest keeps every block a replica has seen, indexed by id and by height.
+It answers the structural questions the safety rules need (ancestry, chain
+extension, longest certified chain) and maintains the committed *main chain*
+used for consistency checks across replicas (paper §III-A).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.crypto.digest import digest_fields
+from repro.forest.vertex import Vertex
+from repro.types.block import Block, make_genesis
+from repro.types.certificates import QuorumCertificate
+
+
+class ForestError(ValueError):
+    """Raised when a block cannot be added to the forest."""
+
+
+@dataclass
+class ForkStats:
+    """Counters describing forking observed by one replica."""
+
+    blocks_added: int = 0
+    blocks_committed: int = 0
+    blocks_forked: int = 0
+    transactions_forked: int = 0
+    views_with_conflicts: Set[int] = field(default_factory=set)
+
+    @property
+    def fork_rate(self) -> float:
+        """Fraction of added (non-genesis) blocks that ended up abandoned."""
+        if self.blocks_added == 0:
+            return 0.0
+        return self.blocks_forked / self.blocks_added
+
+
+class BlockForest:
+    """Stores blocks, their certification state, and the committed chain."""
+
+    def __init__(self) -> None:
+        genesis, genesis_qc = make_genesis()
+        self.genesis = genesis
+        self._vertices: Dict[str, Vertex] = {}
+        self._by_height: Dict[int, List[str]] = defaultdict(list)
+        self._committed_chain: List[str] = []
+        self._pruned_height = -1
+        self.stats = ForkStats()
+
+        root = Vertex(block=genesis, qc=genesis_qc)
+        root.committed = True
+        root.committed_at_view = 0
+        self._vertices[genesis.block_id] = root
+        self._by_height[0].append(genesis.block_id)
+        self._committed_chain.append(genesis.block_id)
+
+    # ------------------------------------------------------------------
+    # insertion and certification
+    # ------------------------------------------------------------------
+    def add_block(self, block: Block, added_at: float = 0.0) -> Vertex:
+        """Insert ``block``; its parent must already be present.
+
+        Re-inserting a known block is a no-op (messages can be duplicated or
+        echoed).  Structural invariants — height is parent height + 1, view
+        strictly greater than the parent's view — are validated here, which
+        is the semantic check the safety rules delegate to the data module.
+        """
+        if block.block_id in self._vertices:
+            return self._vertices[block.block_id]
+        if block.parent_id is None or block.parent_id not in self._vertices:
+            raise ForestError(f"unknown parent {block.parent_id!r} for block {block.block_id[:10]}")
+        parent = self._vertices[block.parent_id]
+        if block.height != parent.height + 1:
+            raise ForestError(
+                f"bad height {block.height} for child of height {parent.height}"
+            )
+        if block.view <= parent.view:
+            raise ForestError(
+                f"view {block.view} does not advance past parent view {parent.view}"
+            )
+        vertex = Vertex(block=block, added_at=added_at)
+        self._vertices[block.block_id] = vertex
+        self._by_height[block.height].append(block.block_id)
+        parent.children.add(block.block_id)
+        self.stats.blocks_added += 1
+        if len(self._by_height[block.height]) > 1:
+            self.stats.views_with_conflicts.add(block.view)
+        return vertex
+
+    def record_qc(self, qc: QuorumCertificate) -> Optional[Vertex]:
+        """Attach a certificate to the block it certifies (if known)."""
+        vertex = self._vertices.get(qc.block_id)
+        if vertex is None:
+            return None
+        if vertex.qc is None or qc.view > vertex.qc.view:
+            vertex.qc = qc
+        return vertex
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def __contains__(self, block_id: str) -> bool:
+        return block_id in self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def get(self, block_id: str) -> Vertex:
+        """Return the vertex for ``block_id`` (KeyError if unknown)."""
+        return self._vertices[block_id]
+
+    def get_block(self, block_id: str) -> Block:
+        """Return the block for ``block_id`` (KeyError if unknown)."""
+        return self._vertices[block_id].block
+
+    def maybe_get(self, block_id: Optional[str]) -> Optional[Vertex]:
+        """Return the vertex for ``block_id`` or None."""
+        if block_id is None:
+            return None
+        return self._vertices.get(block_id)
+
+    def parent(self, block_id: str) -> Optional[Vertex]:
+        """Return the parent vertex of ``block_id`` if it is in the forest."""
+        vertex = self._vertices[block_id]
+        return self.maybe_get(vertex.block.parent_id)
+
+    def children(self, block_id: str) -> List[Vertex]:
+        """Return the child vertices of ``block_id``."""
+        vertex = self._vertices[block_id]
+        return [self._vertices[child] for child in sorted(vertex.children)]
+
+    def blocks_at_height(self, height: int) -> List[Vertex]:
+        """All vertices at ``height`` (more than one indicates a fork)."""
+        return [self._vertices[b] for b in self._by_height.get(height, [])]
+
+    def ancestors(self, block_id: str, include_self: bool = False) -> Iterable[Vertex]:
+        """Yield ancestors of ``block_id`` walking toward genesis."""
+        vertex = self._vertices[block_id]
+        if include_self:
+            yield vertex
+        parent_id = vertex.block.parent_id
+        while parent_id is not None and parent_id in self._vertices:
+            vertex = self._vertices[parent_id]
+            yield vertex
+            parent_id = vertex.block.parent_id
+
+    def is_ancestor(self, ancestor_id: str, descendant_id: str) -> bool:
+        """True if ``ancestor_id`` lies on the path from ``descendant_id`` to genesis."""
+        if ancestor_id == descendant_id:
+            return True
+        if ancestor_id not in self._vertices or descendant_id not in self._vertices:
+            return False
+        target_height = self._vertices[ancestor_id].height
+        current = self._vertices[descendant_id]
+        while current.block.parent_id is not None and current.height > target_height:
+            parent = self._vertices.get(current.block.parent_id)
+            if parent is None:
+                return False
+            current = parent
+        return current.block_id == ancestor_id
+
+    def extends(self, block: Block, ancestor_id: str) -> bool:
+        """True if ``block`` (possibly not yet inserted) extends ``ancestor_id``."""
+        if block.block_id == ancestor_id:
+            return True
+        if block.parent_id is None:
+            return False
+        if block.parent_id == ancestor_id:
+            return True
+        if block.parent_id not in self._vertices:
+            return False
+        return self.is_ancestor(ancestor_id, block.parent_id)
+
+    # ------------------------------------------------------------------
+    # certified chains
+    # ------------------------------------------------------------------
+    def highest_certified(self) -> Vertex:
+        """The certified vertex with the highest view (genesis if none)."""
+        best = self._vertices[self.genesis.block_id]
+        for vertex in self._vertices.values():
+            if vertex.certified and vertex.view > best.view:
+                best = vertex
+        return best
+
+    def longest_certified_tip(self) -> Vertex:
+        """Tip of the longest chain of certified blocks (Streamlet's rule).
+
+        The tip is the certified vertex of maximal height.  In every state
+        reachable under Streamlet's voting rule this coincides with the tip
+        of the longest fully-notarized chain, because a block only attracts
+        votes (and hence a certificate) when its entire ancestor chain is
+        already notarized; using the height keeps the lookup linear in the
+        forest size.  Ties break toward the higher view, then lexicographic
+        id, so every replica with the same forest picks the same tip.
+        """
+        best = self._vertices[self.genesis.block_id]
+        for vertex in self._vertices.values():
+            if not vertex.certified:
+                continue
+            if (vertex.height, vertex.view, vertex.block_id) > (
+                best.height,
+                best.view,
+                best.block_id,
+            ):
+                best = vertex
+        return best
+
+    def certified_chain_length(self, block_id: str) -> int:
+        """Number of certified blocks on the path from genesis to ``block_id``."""
+        count = 0
+        for vertex in self.ancestors(block_id, include_self=True):
+            if vertex.certified:
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # commitment and the main chain
+    # ------------------------------------------------------------------
+    @property
+    def committed_chain(self) -> List[str]:
+        """Block ids of the main chain in commit order (genesis first)."""
+        return list(self._committed_chain)
+
+    @property
+    def committed_height(self) -> int:
+        """Height of the most recently committed block."""
+        return self._vertices[self._committed_chain[-1]].height
+
+    def last_committed(self) -> Vertex:
+        """The most recently committed vertex."""
+        return self._vertices[self._committed_chain[-1]]
+
+    def commit(self, block_id: str, at_view: int) -> List[Vertex]:
+        """Commit ``block_id`` and every uncommitted ancestor.
+
+        Returns the newly committed vertices in chain order (oldest first).
+        Committing a block that conflicts with an already committed block is
+        a safety violation and raises — tests rely on this to detect unsound
+        rule implementations.
+        """
+        if block_id not in self._vertices:
+            raise ForestError(f"cannot commit unknown block {block_id!r}")
+        target = self._vertices[block_id]
+        if target.committed:
+            return []
+        last = self.last_committed()
+        if not self.is_ancestor(last.block_id, block_id):
+            raise ForestError(
+                "safety violation: committing a block that conflicts with the "
+                f"committed chain (last committed {last.block_id[:10]} at height "
+                f"{last.height}, new {block_id[:10]} at height {target.height})"
+            )
+        newly: List[Vertex] = []
+        cursor: Optional[Vertex] = target
+        while cursor is not None and not cursor.committed:
+            newly.append(cursor)
+            cursor = self.maybe_get(cursor.block.parent_id)
+        newly.reverse()
+        for vertex in newly:
+            vertex.committed = True
+            vertex.committed_at_view = at_view
+            self._committed_chain.append(vertex.block_id)
+            self.stats.blocks_committed += 1
+        return newly
+
+    def forked_blocks_below(self, height: int) -> List[Vertex]:
+        """Uncommitted vertices at or below ``height`` (abandoned branches)."""
+        forked = []
+        for h in range(self._pruned_height + 1, height + 1):
+            for block_id in self._by_height.get(h, []):
+                vertex = self._vertices[block_id]
+                if not vertex.committed:
+                    forked.append(vertex)
+        return forked
+
+    def prune(self, height: int) -> List[Vertex]:
+        """Drop all vertices at or below ``height`` except the main chain.
+
+        Returns the removed (forked) vertices so the caller can recycle their
+        transactions into the mempool, as the paper's evaluation does.
+        Committed vertices are kept: they form the main chain used for
+        consistency checks; a production system would move them to cold
+        storage instead.
+        """
+        removed = self.forked_blocks_below(height)
+        for vertex in removed:
+            parent = self.maybe_get(vertex.block.parent_id)
+            if parent is not None:
+                parent.children.discard(vertex.block_id)
+            self._by_height[vertex.height].remove(vertex.block_id)
+            del self._vertices[vertex.block_id]
+            self.stats.blocks_forked += 1
+            self.stats.transactions_forked += vertex.block.num_transactions
+        self._pruned_height = max(self._pruned_height, height)
+        return removed
+
+    def consistency_hash(self, height: Optional[int] = None) -> str:
+        """Hash of the committed chain up to ``height`` (default: full chain).
+
+        Two replicas whose committed chains agree produce identical hashes;
+        integration tests use this to assert safety across the cluster.
+        """
+        ids = []
+        for block_id in self._committed_chain:
+            vertex = self._vertices[block_id]
+            if height is not None and vertex.height > height:
+                break
+            ids.append(block_id)
+        return digest_fields("chain", *ids)
+
+    def committed_transactions(self) -> List[str]:
+        """Transaction ids in committed order (for end-to-end ordering checks)."""
+        txids: List[str] = []
+        for block_id in self._committed_chain:
+            for tx in self._vertices[block_id].block.transactions:
+                txids.append(tx.txid)
+        return txids

@@ -1,0 +1,5 @@
+"""Memory pool of pending transactions (paper §III-E)."""
+
+from repro.mempool.mempool import Mempool
+
+__all__ = ["Mempool"]

@@ -1,0 +1,106 @@
+"""One-way propagation delay models.
+
+The paper assumes the round-trip time between any two machines follows a
+normal distribution N(µ, σ); one-way delays here are therefore modelled as
+N(µ/2, σ/2) by the caller's choice of parameters.  Additional configured
+delay (the ``delay`` knob of Table I, e.g. "5ms ± 1ms") composes additively.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class DelayModel(ABC):
+    """Samples a one-way propagation delay in seconds."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one delay sample."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected value of the delay (used by the analytical model)."""
+
+
+@dataclass
+class NoDelay(DelayModel):
+    """Zero propagation delay (useful for unit tests)."""
+
+    def sample(self, rng: random.Random) -> float:
+        return 0.0
+
+    def mean(self) -> float:
+        return 0.0
+
+
+@dataclass
+class FixedDelay(DelayModel):
+    """A constant delay."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative delay: {self.delay}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+
+@dataclass
+class NormalDelay(DelayModel):
+    """Normally distributed delay, truncated at a floor (default 0)."""
+
+    mean_delay: float
+    stddev: float
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_delay < 0 or self.stddev < 0:
+            raise ValueError("mean and stddev must be non-negative")
+
+    def sample(self, rng: random.Random) -> float:
+        return max(self.floor, rng.gauss(self.mean_delay, self.stddev))
+
+    def mean(self) -> float:
+        return self.mean_delay
+
+
+@dataclass
+class UniformDelay(DelayModel):
+    """Uniformly distributed delay in ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError(f"invalid range [{self.low}, {self.high}]")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class CompositeDelay(DelayModel):
+    """Sum of several delay models (base LAN delay + configured extra delay)."""
+
+    def __init__(self, components: Sequence[DelayModel]) -> None:
+        if not components:
+            raise ValueError("CompositeDelay needs at least one component")
+        self.components = list(components)
+
+    def sample(self, rng: random.Random) -> float:
+        return sum(component.sample(rng) for component in self.components)
+
+    def mean(self) -> float:
+        return sum(component.mean() for component in self.components)

@@ -1,0 +1,199 @@
+"""The simulated network connecting replicas and clients.
+
+Message path (mirroring the paper's delay decomposition)::
+
+    sender NIC  ->  propagation delay  ->  receiver NIC  ->  deliver()
+
+The propagation delay is ``base_delay + extra_delay (+ fluctuation)`` where
+``base_delay`` models the data-center LAN and ``extra_delay`` is the
+configurable ``delay`` parameter of Table I.  Per-node slow-downs (the "slow"
+run-time command) and partitions are applied before a message is accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.network.delays import DelayModel, NoDelay, NormalDelay
+from repro.network.fluctuation import FluctuationWindow
+from repro.network.nic import DEFAULT_BANDWIDTH_BPS, NetworkInterface
+from repro.network.partition import Partition
+from repro.sim.events import EventScheduler
+from repro.sim.random import RandomStreams
+from repro.types.messages import Message
+
+DeliveryHandler = Callable[[Message], None]
+
+# A LAN round-trip below one millisecond, as in the paper's testbed
+# ("inter-VM latency below 1ms"): one-way mean 0.25 ms, stddev 0.05 ms.
+DEFAULT_LAN_DELAY = NormalDelay(mean_delay=0.25e-3, stddev=0.05e-3)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters for one simulation run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    per_type_counts: Dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes
+        kind = type(message).__name__
+        self.per_type_counts[kind] = self.per_type_counts.get(kind, 0) + 1
+
+
+class Network:
+    """Connects named endpoints and moves messages between them."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        streams: RandomStreams,
+        base_delay: Optional[DelayModel] = None,
+        extra_delay: Optional[DelayModel] = None,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        local_delivery_delay: float = 5e-6,
+    ) -> None:
+        self.scheduler = scheduler
+        self.streams = streams
+        self.base_delay = base_delay if base_delay is not None else DEFAULT_LAN_DELAY
+        self.extra_delay = extra_delay if extra_delay is not None else NoDelay()
+        self.bandwidth_bps = bandwidth_bps
+        self.local_delivery_delay = local_delivery_delay
+        self.stats = NetworkStats()
+
+        self._handlers: Dict[str, DeliveryHandler] = {}
+        self._egress: Dict[str, NetworkInterface] = {}
+        self._ingress: Dict[str, NetworkInterface] = {}
+        self._slow_factor: Dict[str, float] = {}
+        self._fluctuations: List[FluctuationWindow] = []
+        self._partitions: List[Partition] = []
+        self._crashed: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, node_id: str, handler: DeliveryHandler) -> None:
+        """Attach an endpoint; ``handler`` receives its delivered messages."""
+        if node_id in self._handlers:
+            raise ValueError(f"endpoint {node_id!r} is already registered")
+        self._handlers[node_id] = handler
+        self._egress[node_id] = NetworkInterface(
+            self.scheduler, name=f"{node_id}.egress", bandwidth_bps=self.bandwidth_bps
+        )
+        self._ingress[node_id] = NetworkInterface(
+            self.scheduler, name=f"{node_id}.ingress", bandwidth_bps=self.bandwidth_bps
+        )
+
+    def endpoints(self) -> List[str]:
+        """All registered endpoint ids."""
+        return sorted(self._handlers)
+
+    def egress_nic(self, node_id: str) -> NetworkInterface:
+        """The egress interface of ``node_id`` (for utilization reporting)."""
+        return self._egress[node_id]
+
+    def ingress_nic(self, node_id: str) -> NetworkInterface:
+        """The ingress interface of ``node_id``."""
+        return self._ingress[node_id]
+
+    # ------------------------------------------------------------------
+    # fault / condition injection
+    # ------------------------------------------------------------------
+    def set_slow(self, node_id: str, factor: float) -> None:
+        """Multiply propagation delays to and from ``node_id`` (run-time "slow")."""
+        if factor < 1.0:
+            raise ValueError(f"slow factor must be >= 1, got {factor}")
+        self._slow_factor[node_id] = factor
+
+    def clear_slow(self, node_id: str) -> None:
+        """Remove a previously configured slow-down."""
+        self._slow_factor.pop(node_id, None)
+
+    def add_fluctuation(self, window: FluctuationWindow) -> None:
+        """Install a fluctuation window (extra random delay while active)."""
+        self._fluctuations.append(window)
+
+    def add_partition(self, partition: Partition) -> None:
+        """Install a partition (messages across groups are dropped)."""
+        self._partitions.append(partition)
+
+    def crash(self, node_id: str) -> None:
+        """Crash an endpoint: all traffic to and from it is dropped."""
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: str) -> None:
+        """Recover a crashed endpoint."""
+        self._crashed.discard(node_id)
+
+    def is_crashed(self, node_id: str) -> bool:
+        """True if ``node_id`` has been crashed via :meth:`crash`."""
+        return node_id in self._crashed
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dst`` through NICs and the wire."""
+        if src not in self._handlers:
+            raise KeyError(f"unknown sender {src!r}")
+        if dst not in self._handlers:
+            raise KeyError(f"unknown destination {dst!r}")
+        self.stats.record_send(message)
+        if src in self._crashed or dst in self._crashed:
+            self.stats.messages_dropped += 1
+            return
+        now = self.scheduler.now
+        for partition in self._partitions:
+            if partition.blocks(src, dst, now):
+                self.stats.messages_dropped += 1
+                return
+        if src == dst:
+            # Loopback skips the NICs; a replica talking to itself (e.g. the
+            # leader "sending" its own vote) costs only a context switch.
+            self.scheduler.call_after(self.local_delivery_delay, self._deliver, dst, message)
+            return
+        self._egress[src].transfer(
+            message.size_bytes, lambda: self._propagate(src, dst, message)
+        )
+
+    def broadcast(self, src: str, targets: List[str], message: Message, include_self: bool = False) -> None:
+        """Send ``message`` to every node in ``targets`` (and optionally ``src``)."""
+        for dst in targets:
+            if dst == src and not include_self:
+                continue
+            self.send(src, dst, message)
+        if include_self and src not in targets:
+            self.send(src, src, message)
+
+    # ------------------------------------------------------------------
+    # internal pipeline stages
+    # ------------------------------------------------------------------
+    def _propagate(self, src: str, dst: str, message: Message) -> None:
+        rng = self.streams.get("network")
+        delay = self.base_delay.sample(rng) + self.extra_delay.sample(rng)
+        now = self.scheduler.now
+        for window in self._fluctuations:
+            if window.active(now):
+                delay += window.sample(rng)
+        factor = max(self._slow_factor.get(src, 1.0), self._slow_factor.get(dst, 1.0))
+        delay *= factor
+        self.scheduler.call_after(delay, self._arrive, src, dst, message)
+
+    def _arrive(self, src: str, dst: str, message: Message) -> None:
+        if dst in self._crashed or src in self._crashed:
+            self.stats.messages_dropped += 1
+            return
+        self._ingress[dst].transfer(message.size_bytes, lambda: self._deliver(dst, message))
+
+    def _deliver(self, dst: str, message: Message) -> None:
+        if dst in self._crashed:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        self._handlers[dst](message)

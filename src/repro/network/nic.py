@@ -1,0 +1,50 @@
+"""Bandwidth-limited network interfaces.
+
+Every endpoint owns an egress NIC and an ingress NIC, each a serial FIFO
+server whose service time for a message is ``size_bytes / bandwidth``.  A
+leader broadcasting a proposal to N-1 peers therefore serializes N-1 copies
+through its egress NIC — which is exactly why leader bandwidth becomes the
+bottleneck as block size or cluster size grows, reproducing the saturation
+behaviour of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.events import EventScheduler
+from repro.sim.resources import FifoServer
+
+DEFAULT_BANDWIDTH_BPS = 125_000_000  # 1 Gbit/s expressed in bytes per second
+
+
+class NetworkInterface:
+    """One direction (egress or ingress) of an endpoint's NIC."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        name: str,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        fixed_overhead: float = 2e-6,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        self.bandwidth_bps = bandwidth_bps
+        self.fixed_overhead = fixed_overhead
+        self.server = FifoServer(scheduler, name=name)
+        self.bytes_transferred = 0
+        self.messages_transferred = 0
+
+    def transfer(self, size_bytes: int, on_complete: Callable[[], None]) -> None:
+        """Push ``size_bytes`` through the interface, then call ``on_complete``."""
+        if size_bytes < 0:
+            raise ValueError(f"negative message size: {size_bytes}")
+        service_time = self.fixed_overhead + size_bytes / self.bandwidth_bps
+        self.bytes_transferred += size_bytes
+        self.messages_transferred += 1
+        self.server.submit(service_time, on_complete)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the interface has been busy."""
+        return self.server.utilization()

@@ -1,0 +1,53 @@
+"""Network partitions.
+
+A partition makes a set of node pairs mutually unreachable for an interval.
+The paper does not evaluate partitions directly (it assumes measurements
+after GST), but Bamboo supports simulating them, so the capability is kept:
+fault-injection tests use it to check that the pacemaker recovers liveness
+once a partition heals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Set
+
+
+@dataclass
+class Partition:
+    """Splits the cluster into groups that cannot exchange messages."""
+
+    groups: tuple
+    start: float = 0.0
+    end: Optional[float] = None
+    _membership: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for index, group in enumerate(self.groups):
+            for node in group:
+                self._membership[node] = index
+
+    def active(self, now: float) -> bool:
+        """True if the partition is in effect at time ``now``."""
+        if now < self.start:
+            return False
+        if self.end is not None and now >= self.end:
+            return False
+        return True
+
+    def blocks(self, src: str, dst: str, now: float) -> bool:
+        """True if a message from ``src`` to ``dst`` must be dropped."""
+        if not self.active(now):
+            return False
+        src_group = self._membership.get(src)
+        dst_group = self._membership.get(dst)
+        if src_group is None or dst_group is None:
+            # Nodes outside every group (e.g. clients) are unaffected.
+            return False
+        return src_group != dst_group
+
+    @classmethod
+    def isolate(cls, nodes: Set[str], isolated: Set[str], start: float = 0.0, end: Optional[float] = None) -> "Partition":
+        """Convenience constructor isolating ``isolated`` from the rest."""
+        rest: FrozenSet[str] = frozenset(nodes - isolated)
+        return cls(groups=(frozenset(isolated), rest), start=start, end=end)

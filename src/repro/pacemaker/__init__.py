@@ -1,0 +1,5 @@
+"""Pacemaker: view synchronization ensuring liveness (paper §III-B)."""
+
+from repro.pacemaker.pacemaker import Pacemaker, PacemakerStats, ViewChangeReason
+
+__all__ = ["Pacemaker", "PacemakerStats", "ViewChangeReason"]

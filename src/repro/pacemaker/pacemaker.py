@@ -1,0 +1,158 @@
+"""The pacemaker module: local timers, TIMEOUT aggregation, view advancement.
+
+The design follows the LibraBFT-style view synchronization the paper adopts
+(§III-B): whenever a replica's view timer expires it broadcasts a
+``TIMEOUT`` message for its current view; receiving a quorum (2f+1) of
+timeouts for a view forms a TimeoutCertificate (TC) and lets the replica
+advance to the next view.  Views also advance on the happy path whenever a
+QC for the current view is observed.  The pacemaker itself does no
+networking — it exposes callbacks and lets the replica put messages on the
+wire — which keeps it reusable by every protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.quorum.quorum import TimeoutTracker
+from repro.sim.events import Event, EventScheduler
+from repro.types.certificates import Timeout, TimeoutCertificate
+
+
+class ViewChangeReason(enum.Enum):
+    """Why a replica entered a new view."""
+
+    START = "start"
+    QC = "qc"
+    TC = "tc"
+
+
+@dataclass
+class PacemakerStats:
+    """Counters describing pacemaker activity in one run."""
+
+    local_timeouts: int = 0
+    view_changes_on_qc: int = 0
+    view_changes_on_tc: int = 0
+    highest_view: int = 0
+    views_entered_at: Dict[int, float] = field(default_factory=dict)
+
+
+class Pacemaker:
+    """Per-replica view synchronization logic."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        node_id: str,
+        timeout_tracker: TimeoutTracker,
+        view_timeout: float,
+        on_view_start: Callable[[int, ViewChangeReason], None],
+        on_local_timeout: Callable[[int], None],
+        timeout_provider: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        """Create a pacemaker.
+
+        Parameters
+        ----------
+        view_timeout:
+            Base waiting time before a view is declared stuck (Table I's
+            ``timeout``, default 100 ms).
+        on_view_start:
+            Called whenever a new view begins, with the view number and the
+            reason (start / QC / TC).  The replica proposes here if it leads.
+        on_local_timeout:
+            Called when the local timer for the current view expires; the
+            replica broadcasts its TIMEOUT message from this callback.
+        timeout_provider:
+            Optional function ``consecutive_timeouts -> seconds`` used to
+            grow the timeout under repeated failures (exponential backoff
+            ablation); defaults to the constant ``view_timeout``.
+        """
+        if view_timeout <= 0:
+            raise ValueError(f"view timeout must be positive, got {view_timeout}")
+        self.scheduler = scheduler
+        self.node_id = node_id
+        self.timeout_tracker = timeout_tracker
+        self.view_timeout = view_timeout
+        self.on_view_start = on_view_start
+        self.on_local_timeout = on_local_timeout
+        self.timeout_provider = timeout_provider
+        self.stats = PacemakerStats()
+
+        self.current_view = 0
+        self._timer: Optional[Event] = None
+        self._consecutive_timeouts = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, initial_view: int = 1) -> None:
+        """Enter the first view and arm the timer."""
+        if self._started:
+            raise RuntimeError("pacemaker already started")
+        self._started = True
+        self._enter_view(initial_view, ViewChangeReason.START)
+
+    def stop(self) -> None:
+        """Cancel the running timer (end of simulation or crash)."""
+        if self._timer is not None and self._timer.pending:
+            self._timer.cancel()
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    # view advancement
+    # ------------------------------------------------------------------
+    def advance_on_qc(self, qc_view: int) -> bool:
+        """Advance to ``qc_view + 1`` if that is ahead of the current view."""
+        target = qc_view + 1
+        if target <= self.current_view:
+            return False
+        self._consecutive_timeouts = 0
+        self.stats.view_changes_on_qc += 1
+        self._enter_view(target, ViewChangeReason.QC)
+        return True
+
+    def advance_on_tc(self, tc: TimeoutCertificate) -> bool:
+        """Advance to ``tc.view + 1`` if that is ahead of the current view."""
+        target = tc.view + 1
+        if target <= self.current_view:
+            return False
+        self.stats.view_changes_on_tc += 1
+        self._enter_view(target, ViewChangeReason.TC)
+        return True
+
+    def process_remote_timeout(self, timeout: Timeout) -> Optional[TimeoutCertificate]:
+        """Record a peer's TIMEOUT message; return a TC when one forms."""
+        return self.timeout_tracker.add_and_certify(timeout)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def current_timeout(self) -> float:
+        """The timer duration for the current view."""
+        if self.timeout_provider is not None:
+            return self.timeout_provider(self._consecutive_timeouts)
+        return self.view_timeout
+
+    def _enter_view(self, view: int, reason: ViewChangeReason) -> None:
+        if self._timer is not None and self._timer.pending:
+            self._timer.cancel()
+        self.current_view = view
+        self.stats.highest_view = max(self.stats.highest_view, view)
+        self.stats.views_entered_at[view] = self.scheduler.now
+        self._timer = self.scheduler.call_after(self.current_timeout(), self._on_timer, view)
+        self.on_view_start(view, reason)
+
+    def _on_timer(self, view: int) -> None:
+        if view != self.current_view:
+            return
+        self.stats.local_timeouts += 1
+        self._consecutive_timeouts += 1
+        # Re-arm so a stuck replica keeps signalling its timeout (the quorum
+        # may have missed the earlier broadcast).
+        self._timer = self.scheduler.call_after(self.current_timeout(), self._on_timer, view)
+        self.on_local_timeout(view)

@@ -1,0 +1,28 @@
+"""Chained-BFT protocol implementations.
+
+A protocol is expressed as a :class:`~repro.protocols.safety.Safety` subclass
+that fills in the four rules of the paper (§II-A): Proposing, Voting, State
+Updating, and Commit.  Everything else (block forest, pacemaker, quorum,
+network, mempool, execution) is shared, which is what makes the comparison
+between protocols apples-to-apples.
+"""
+
+from repro.protocols.fasthotstuff import FastHotStuffSafety
+from repro.protocols.hotstuff import HotStuffSafety
+from repro.protocols.lbft import LeaderBroadcastSafety
+from repro.protocols.registry import available_protocols, make_safety
+from repro.protocols.safety import ProposalPlan, Safety
+from repro.protocols.streamlet import StreamletSafety
+from repro.protocols.twochain import TwoChainHotStuffSafety
+
+__all__ = [
+    "FastHotStuffSafety",
+    "HotStuffSafety",
+    "LeaderBroadcastSafety",
+    "ProposalPlan",
+    "Safety",
+    "StreamletSafety",
+    "TwoChainHotStuffSafety",
+    "available_protocols",
+    "make_safety",
+]

@@ -1,0 +1,69 @@
+"""Fast-HotStuff: a responsive two-chain variant (paper §I, reference [7]).
+
+Fast-HotStuff commits with a two-chain like 2CHS but stays optimistically
+responsive after a view change by having the new leader justify its proposal
+with an aggregated view of the highest QCs reported in the timeout
+certificate.  In this framework the aggregation is modelled by the
+``high_qc_view`` carried in the TC: a proposal made right after a view change
+is considered justified as long as it extends the highest certificate the
+leader knows, and replicas accept it when the justification is at least as
+high as their lock *or* the proposal extends their lock.
+
+The protocol is included because the paper lists it among the protocols
+built with Bamboo; it is exercised by the extension tests and the ablation
+benchmarks rather than by the headline figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.safety import ProposalPlan, Safety
+from repro.types.block import Block
+from repro.types.certificates import QuorumCertificate
+
+
+class FastHotStuffSafety(Safety):
+    """Two-chain commit with responsiveness-oriented voting."""
+
+    protocol_name = "fasthotstuff"
+    votes_broadcast = False
+    echo_messages = False
+    responsive = True
+    commit_rule_depth = 2
+
+    def choose_extension(self) -> ProposalPlan:
+        return ProposalPlan(parent_id=self.high_qc.block_id, qc=self.high_qc)
+
+    def should_vote(self, block: Block) -> bool:
+        if block.view <= self.last_voted_view:
+            return False
+        if not self.embedded_qc_matches_parent(block):
+            return False
+        if self.forest.extends(block, self.locked_block_id):
+            return True
+        justify_view = block.qc.view if block.qc is not None else 0
+        # ">=" rather than ">" is the aggregated-justification relaxation:
+        # after a view change the new leader may only know a QC as high as
+        # (not higher than) the lock, and its proposal is still accepted.
+        return justify_view >= self.locked_view()
+
+    def _update_lock(self, qc: QuorumCertificate) -> None:
+        vertex = self.forest.maybe_get(qc.block_id)
+        if vertex is None:
+            return
+        if vertex.view > self.locked_view():
+            self.locked_block_id = vertex.block_id
+
+    def commit_candidate(self, block_id: str) -> Optional[str]:
+        tail = self.forest.maybe_get(block_id)
+        if tail is None or not tail.certified:
+            return None
+        head = self.forest.maybe_get(tail.block.parent_id)
+        if head is None or not head.certified:
+            return None
+        if head.view != tail.view - 1:
+            return None
+        if head.committed:
+            return None
+        return head.block_id

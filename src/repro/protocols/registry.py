@@ -1,0 +1,41 @@
+"""Protocol registry: map configuration names to Safety implementations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.forest.forest import BlockForest
+from repro.protocols.fasthotstuff import FastHotStuffSafety
+from repro.protocols.hotstuff import HotStuffSafety
+from repro.protocols.lbft import LeaderBroadcastSafety
+from repro.protocols.safety import Safety
+from repro.protocols.streamlet import StreamletSafety
+from repro.protocols.twochain import TwoChainHotStuffSafety
+
+_REGISTRY: Dict[str, Type[Safety]] = {
+    "hotstuff": HotStuffSafety,
+    "hs": HotStuffSafety,
+    "2chainhs": TwoChainHotStuffSafety,
+    "2chs": TwoChainHotStuffSafety,
+    "twochain": TwoChainHotStuffSafety,
+    "streamlet": StreamletSafety,
+    "sl": StreamletSafety,
+    "fasthotstuff": FastHotStuffSafety,
+    "fhs": FastHotStuffSafety,
+    "lbft": LeaderBroadcastSafety,
+}
+
+
+def available_protocols() -> List[str]:
+    """Canonical names of the protocols that can be instantiated."""
+    return ["hotstuff", "2chainhs", "streamlet", "fasthotstuff", "lbft"]
+
+
+def make_safety(name: str, forest: BlockForest) -> Safety:
+    """Instantiate the Safety module for protocol ``name``."""
+    key = name.lower().replace("-", "").replace("_", "")
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+        )
+    return _REGISTRY[key](forest)

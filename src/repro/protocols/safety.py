@@ -1,0 +1,141 @@
+"""The Safety module interface (paper §III-C).
+
+A concrete protocol provides the four rules:
+
+* **Proposing rule** — :meth:`Safety.choose_extension` decides which block a
+  new proposal extends and which quorum certificate it embeds.
+* **Voting rule** — :meth:`Safety.should_vote` decides whether to vote for an
+  incoming block.
+* **State-updating rule** — :meth:`Safety.update_qc` (and
+  :meth:`Safety.record_vote_sent`) maintain the protocol's state variables
+  (highest QC, locked block, last voted view, ...).
+* **Commit rule** — :meth:`Safety.commit_candidate` decides, whenever a block
+  becomes certified, whether some ancestor can now be committed.
+
+The class also exposes protocol metadata (whether votes are broadcast,
+whether messages are echoed, whether the protocol is optimistically
+responsive, the depth of its commit rule) that the replica and the analytical
+model consume.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.forest.forest import BlockForest
+from repro.types.block import Block, GENESIS_ID
+from repro.types.certificates import QuorumCertificate
+
+
+@dataclass
+class ProposalPlan:
+    """Outcome of the proposing rule: which block to extend and the QC to embed."""
+
+    parent_id: str
+    qc: QuorumCertificate
+
+
+class Safety(ABC):
+    """Base class holding the state variables shared by cBFT protocols."""
+
+    #: Human-readable protocol name ("hotstuff", "2chainhs", "streamlet", ...).
+    protocol_name: str = "abstract"
+    #: True if votes are broadcast to every replica instead of sent to the
+    #: next leader (Streamlet).
+    votes_broadcast: bool = False
+    #: True if replicas re-broadcast (echo) every proposal and vote they
+    #: receive for the first time (Streamlet).
+    echo_messages: bool = False
+    #: True if the protocol is optimistically responsive (HotStuff).
+    responsive: bool = True
+    #: Number of chained certified blocks required by the commit rule.
+    commit_rule_depth: int = 3
+
+    def __init__(self, forest: BlockForest) -> None:
+        self.forest = forest
+        genesis_vertex = forest.get(GENESIS_ID)
+        assert genesis_vertex.qc is not None
+        #: Highest QC known from any source (votes collected or proposals seen).
+        self.high_qc: QuorumCertificate = genesis_vertex.qc
+        #: Highest QC learned from a *received proposal* — i.e. a certificate
+        #: that has been publicly disseminated.  Byzantine forking strategies
+        #: use this to compute how far back they can fork while still
+        #: satisfying honest replicas' voting rules.
+        self.public_high_qc: QuorumCertificate = genesis_vertex.qc
+        #: The locked block (lBlock).  Protocols that do not lock leave it at
+        #: genesis.
+        self.locked_block_id: str = GENESIS_ID
+        #: The highest view this replica voted in (lvView).
+        self.last_voted_view: int = 0
+
+    # ------------------------------------------------------------------
+    # Proposing rule
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def choose_extension(self) -> ProposalPlan:
+        """Pick the parent block and the certificate for a new proposal."""
+
+    # ------------------------------------------------------------------
+    # Voting rule
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def should_vote(self, block: Block) -> bool:
+        """Decide whether to vote for an incoming block."""
+
+    def record_vote_sent(self, block: Block) -> None:
+        """Update ``lvView`` right after a vote is sent (paper §II-B)."""
+        if block.view > self.last_voted_view:
+            self.last_voted_view = block.view
+
+    # ------------------------------------------------------------------
+    # State-updating rule
+    # ------------------------------------------------------------------
+    def update_qc(self, qc: QuorumCertificate) -> None:
+        """Incorporate a newly learned certificate into the protocol state."""
+        self.forest.record_qc(qc)
+        if qc.view > self.high_qc.view:
+            self.high_qc = qc
+        self._update_lock(qc)
+
+    def note_embedded_qc(self, qc: QuorumCertificate) -> None:
+        """Incorporate a certificate carried inside a received proposal."""
+        if qc.view > self.public_high_qc.view:
+            self.public_high_qc = qc
+        self.update_qc(qc)
+
+    def _update_lock(self, qc: QuorumCertificate) -> None:
+        """Protocol-specific lock maintenance (no lock by default)."""
+
+    # ------------------------------------------------------------------
+    # Commit rule
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def commit_candidate(self, block_id: str) -> Optional[str]:
+        """Given a block that just became certified, return a block to commit.
+
+        Returns the id of the highest block that the commit rule now allows
+        committing (the replica commits it together with all its uncommitted
+        ancestors), or ``None`` if the rule is not met.
+        """
+
+    # ------------------------------------------------------------------
+    # shared semantic checks
+    # ------------------------------------------------------------------
+    def embedded_qc_matches_parent(self, block: Block) -> bool:
+        """True if the proposal's embedded QC certifies the block's parent.
+
+        All protocols in this family require the justification carried by a
+        proposal to certify the block it extends; anything else is malformed
+        and is not voted for.
+        """
+        if block.qc is None or block.parent_id is None:
+            return False
+        return block.qc.block_id == block.parent_id
+
+    def locked_view(self) -> int:
+        """View of the currently locked block (0 when unlocked/genesis)."""
+        if self.locked_block_id not in self.forest:
+            return 0
+        return self.forest.get(self.locked_block_id).view

@@ -1,0 +1,87 @@
+"""Streamlet (paper §II-D), adapted to the shared pacemaker.
+
+Streamlet's rules follow the longest-chain principle:
+
+* Proposing: extend the tip of the longest *notarized* (certified) chain.
+* Voting: vote for the first proposal of a view only if it extends the
+  longest notarized chain seen so far.  Votes are **broadcast** to every
+  replica rather than sent to the next leader.
+* Commit: whenever three blocks proposed in three consecutive views are all
+  certified, the first two of them (and all their ancestors) are committed.
+
+Every message is echoed once by every replica, which is what gives Streamlet
+its O(n^3) communication complexity and its poor scalability in the paper's
+evaluation — but also its immunity to the forking attack, because honest
+replicas never vote for a proposal that abandons the longest notarized chain.
+
+The original protocol advances views with a synchronized 2Δ clock; as in the
+paper, the shared pacemaker replaces that clock so the comparison with the
+HotStuff variants is fair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.safety import ProposalPlan, Safety
+from repro.types.block import Block
+
+
+class StreamletSafety(Safety):
+    """Pacemaker-driven Streamlet."""
+
+    protocol_name = "streamlet"
+    votes_broadcast = True
+    echo_messages = True
+    responsive = False
+    commit_rule_depth = 3
+
+    # ------------------------------------------------------------------
+    # Proposing rule
+    # ------------------------------------------------------------------
+    def choose_extension(self) -> ProposalPlan:
+        tip = self.forest.longest_certified_tip()
+        qc = tip.qc
+        assert qc is not None, "a certified tip always carries its certificate"
+        return ProposalPlan(parent_id=tip.block_id, qc=qc)
+
+    # ------------------------------------------------------------------
+    # Voting rule
+    # ------------------------------------------------------------------
+    def should_vote(self, block: Block) -> bool:
+        if block.view <= self.last_voted_view:
+            return False
+        if not self.embedded_qc_matches_parent(block):
+            return False
+        parent = self.forest.maybe_get(block.parent_id)
+        if parent is None or not parent.certified:
+            return False
+        longest = self.forest.longest_certified_tip()
+        longest_length = self.forest.certified_chain_length(longest.block_id)
+        parent_length = self.forest.certified_chain_length(parent.block_id)
+        return parent_length >= longest_length
+
+    # ------------------------------------------------------------------
+    # State-updating rule: maintain the notarized chain (no lock variable).
+    # ------------------------------------------------------------------
+
+    # ------------------------------------------------------------------
+    # Commit rule
+    # ------------------------------------------------------------------
+    def commit_candidate(self, block_id: str) -> Optional[str]:
+        tail = self.forest.maybe_get(block_id)
+        if tail is None or not tail.certified:
+            return None
+        middle = self.forest.maybe_get(tail.block.parent_id)
+        if middle is None or not middle.certified:
+            return None
+        head = self.forest.maybe_get(middle.block.parent_id)
+        if head is None or not head.certified:
+            return None
+        if middle.view != tail.view - 1 or head.view != middle.view - 1:
+            return None
+        if middle.committed:
+            return None
+        # The first two of the three consecutive certified blocks commit; the
+        # middle block is the highest of those two.
+        return middle.block_id

@@ -1,0 +1,5 @@
+"""Quorum system: vote and timeout aggregation."""
+
+from repro.quorum.quorum import QuorumTracker, TimeoutTracker, quorum_size, max_faulty
+
+__all__ = ["QuorumTracker", "TimeoutTracker", "quorum_size", "max_faulty"]

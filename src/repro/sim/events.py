@@ -1,0 +1,175 @@
+"""Event scheduler and virtual clock for the discrete-event simulation.
+
+The scheduler is a classic calendar queue built on :mod:`heapq`.  Time is a
+``float`` measured in **seconds** of simulated time.  Events scheduled for the
+same instant execute in the order they were scheduled (a monotonically
+increasing sequence number breaks ties), which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid interactions with the event scheduler."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry.  Ordered by (time, sequence)."""
+
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A handle to a scheduled callback.
+
+    Events are created via :meth:`EventScheduler.call_at` or
+    :meth:`EventScheduler.call_after`.  They can be cancelled before they
+    fire; cancelled events stay in the heap but are skipped when popped.
+    """
+
+    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has neither fired nor been cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, {name}, {state})"
+
+
+class EventScheduler:
+    """A deterministic discrete-event scheduler with a virtual clock.
+
+    Typical usage::
+
+        sched = EventScheduler()
+        sched.call_after(0.5, handler, message)
+        sched.run_until(10.0)
+
+    The scheduler never advances past the time horizon given to
+    :meth:`run_until`, and :attr:`now` always reflects the timestamp of the
+    event currently being processed (or the last processed event).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[_QueueEntry] = []
+        self._sequence = 0
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def call_at(self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` to run at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time:.6f} < now {self._now:.6f}"
+            )
+        event = Event(time, callback, args, kwargs)
+        self._sequence += 1
+        heapq.heappush(self._heap, _QueueEntry(time, self._sequence, event))
+        return event
+
+    def call_after(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback, *args, **kwargs)
+
+    def run_until(self, horizon: float, max_events: Optional[int] = None) -> int:
+        """Run events in timestamp order until ``horizon`` (inclusive).
+
+        Returns the number of events executed by this call.  Events scheduled
+        beyond the horizon remain queued.  ``max_events`` is a safety valve
+        for tests.
+        """
+        if self._running:
+            raise SimulationError("scheduler is already running (re-entrant run_until)")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                entry = self._heap[0]
+                if entry.time > horizon:
+                    break
+                heapq.heappop(self._heap)
+                event = entry.event
+                if event.cancelled:
+                    continue
+                self._now = entry.time
+                event.fired = True
+                event.callback(*event.args, **event.kwargs)
+                executed += 1
+                self._processed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if self._now < horizon:
+            self._now = horizon
+        return executed
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains (or ``max_events`` is hit)."""
+        if self._running:
+            raise SimulationError("scheduler is already running (re-entrant run)")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                event = entry.event
+                if event.cancelled:
+                    continue
+                self._now = entry.time
+                event.fired = True
+                event.callback(*event.args, **event.kwargs)
+                executed += 1
+                self._processed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        return executed

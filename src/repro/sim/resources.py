@@ -1,0 +1,99 @@
+"""Serial resources with explicit service times.
+
+The paper's performance model (§V) treats each machine as a queue made of a
+CPU and a NIC.  :class:`FifoServer` is the simulation-side realization of
+that queue: jobs are served one at a time in arrival order, each occupying
+the server for a caller-supplied service time.  Utilization and queueing
+statistics are tracked so benchmarks can report saturation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Optional
+
+from repro.sim.events import EventScheduler
+
+
+@dataclass
+class _Job:
+    """A unit of work waiting for or occupying the server."""
+
+    service_time: float
+    callback: Callable[[], Any]
+    enqueued_at: float
+
+
+class FifoServer:
+    """A single-server FIFO queue driven by the event scheduler.
+
+    ``submit(service_time, callback)`` enqueues a job; when the job finishes
+    service, ``callback()`` runs at the completion time.  The server is
+    work-conserving: it is busy whenever at least one job is present.
+
+    Statistics collected:
+
+    * :attr:`busy_time` — total time the server spent serving jobs.
+    * :attr:`jobs_served` — number of completed jobs.
+    * :attr:`total_delay` — sum over completed jobs of (completion - arrival),
+      i.e. queueing plus service time, used to report average sojourn times.
+    """
+
+    def __init__(self, scheduler: EventScheduler, name: str = "server") -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self._queue: Deque[_Job] = deque()
+        self._busy = False
+        self.busy_time = 0.0
+        self.jobs_served = 0
+        self.total_delay = 0.0
+        self._started_at = scheduler.now
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """True while a job is in service."""
+        return self._busy
+
+    def submit(self, service_time: float, callback: Callable[[], Any]) -> None:
+        """Enqueue a job requiring ``service_time`` seconds of service."""
+        if service_time < 0:
+            raise ValueError(f"negative service time: {service_time}")
+        job = _Job(service_time, callback, self.scheduler.now)
+        self._queue.append(job)
+        if not self._busy:
+            self._start_next()
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Fraction of elapsed time the server has been busy."""
+        current = self.scheduler.now if now is None else now
+        elapsed = current - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def average_sojourn(self) -> float:
+        """Mean time a completed job spent in the system (queue + service)."""
+        if self.jobs_served == 0:
+            return 0.0
+        return self.total_delay / self.jobs_served
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        job = self._queue.popleft()
+        self.scheduler.call_after(job.service_time, self._finish, job)
+
+    def _finish(self, job: _Job) -> None:
+        self.busy_time += job.service_time
+        self.jobs_served += 1
+        self.total_delay += self.scheduler.now - job.enqueued_at
+        job.callback()
+        self._start_next()

@@ -1,0 +1,120 @@
+"""Blocks: batches of transactions chained by parent hashes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.crypto.digest import digest_fields
+from repro.types.certificates import QuorumCertificate
+from repro.types.transaction import Transaction
+
+GENESIS_VIEW = 0
+GENESIS_ID = "genesis"
+
+
+@dataclass(frozen=True)
+class Block:
+    """A block proposed in a view.
+
+    Attributes
+    ----------
+    block_id:
+        Hash identifier computed over (view, parent, proposer, payload digest).
+    view:
+        The view in which the block was proposed.  Views increase along any
+        chain but are not necessarily consecutive (a fork or a timeout leaves
+        gaps).
+    parent_id:
+        Hash of the parent block this block extends.
+    height:
+        Chain length from genesis (genesis has height 0).  The proposer knows
+        its parent's height, so the value is carried in the block; the block
+        forest re-validates it on insertion.
+    qc:
+        The quorum certificate embedded by the proposer — per the chained
+        propose-vote scheme this certifies an ancestor (normally the parent).
+    proposer:
+        Node id of the proposing replica.
+    transactions:
+        The batch of client transactions carried by the block.
+    """
+
+    block_id: str
+    view: int
+    parent_id: Optional[str]
+    height: int
+    qc: Optional[QuorumCertificate]
+    proposer: str
+    transactions: Tuple[Transaction, ...] = field(default_factory=tuple)
+
+    @property
+    def is_genesis(self) -> bool:
+        """True only for the bootstrap block shared by every replica."""
+        return self.block_id == GENESIS_ID
+
+    @property
+    def num_transactions(self) -> int:
+        """Number of transactions batched in this block."""
+        return len(self.transactions)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total extra payload bytes carried by the block's transactions."""
+        return sum(tx.payload_size for tx in self.transactions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Block(id={self.block_id[:10]}, view={self.view}, height={self.height}, "
+            f"txs={self.num_transactions}, proposer={self.proposer})"
+        )
+
+
+def compute_block_id(
+    view: int,
+    parent_id: Optional[str],
+    proposer: str,
+    transactions: Tuple[Transaction, ...],
+) -> str:
+    """Compute the hash identifier of a block."""
+    tx_digest = digest_fields(*[tx.txid for tx in transactions])
+    return digest_fields("block", view, parent_id, proposer, tx_digest)
+
+
+def make_block(
+    view: int,
+    parent: Block,
+    qc: Optional[QuorumCertificate],
+    proposer: str,
+    transactions: Tuple[Transaction, ...],
+) -> Block:
+    """Construct a block extending ``parent``."""
+    block_id = compute_block_id(view, parent.block_id, proposer, transactions)
+    return Block(
+        block_id=block_id,
+        view=view,
+        parent_id=parent.block_id,
+        height=parent.height + 1,
+        qc=qc,
+        proposer=proposer,
+        transactions=transactions,
+    )
+
+
+def make_genesis() -> Tuple[Block, QuorumCertificate]:
+    """Create the genesis block and its bootstrap certificate.
+
+    Every replica starts with the same genesis so the first real proposal
+    (view 1) has a parent and an embedded QC.
+    """
+    genesis = Block(
+        block_id=GENESIS_ID,
+        view=GENESIS_VIEW,
+        parent_id=None,
+        height=0,
+        qc=None,
+        proposer="genesis",
+        transactions=(),
+    )
+    genesis_qc = QuorumCertificate(block_id=GENESIS_ID, view=GENESIS_VIEW, signers=frozenset())
+    return genesis, genesis_qc

@@ -1,0 +1,87 @@
+"""Votes, timeouts, and the certificates aggregated from them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.crypto.digest import digest_fields
+from repro.crypto.signatures import Signature
+
+
+@dataclass(frozen=True)
+class Vote:
+    """A vote cast by a replica for a block in a given view."""
+
+    voter: str
+    block_id: str
+    view: int
+    signature: Signature
+
+    def digest(self) -> str:
+        """Digest over the vote's semantic content (what gets signed)."""
+        return vote_digest(self.block_id, self.view)
+
+
+def vote_digest(block_id: str, view: int) -> str:
+    """The digest a replica signs when voting for ``block_id`` at ``view``."""
+    return digest_fields("vote", block_id, view)
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """Proof that a quorum (2f+1) of replicas voted for a block.
+
+    The genesis certificate has ``view == 0`` and an empty signer set; it is
+    the only certificate allowed to be unsigned.
+    """
+
+    block_id: str
+    view: int
+    signers: FrozenSet[str]
+    signatures: Tuple[Signature, ...] = ()
+
+    @property
+    def is_genesis(self) -> bool:
+        """True for the bootstrap certificate of the genesis block."""
+        return self.view == 0 and not self.signers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QC(view={self.view}, block={self.block_id[:10]}, signers={len(self.signers)})"
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """A replica's declaration that its view timer expired.
+
+    ``high_qc_view`` advertises the highest QC the sender knows, letting the
+    next leader synchronize its state when it assembles the TC (this mirrors
+    the LibraBFT-style pacemaker the paper adopts).
+    """
+
+    voter: str
+    view: int
+    high_qc_view: int
+    signature: Signature
+
+    def digest(self) -> str:
+        """Digest over the timeout's semantic content (what gets signed)."""
+        return timeout_digest(self.view)
+
+
+def timeout_digest(view: int) -> str:
+    """The digest a replica signs when timing out of ``view``."""
+    return digest_fields("timeout", view)
+
+
+@dataclass(frozen=True)
+class TimeoutCertificate:
+    """Proof that a quorum of replicas timed out of the same view."""
+
+    view: int
+    signers: FrozenSet[str]
+    signatures: Tuple[Signature, ...] = ()
+    high_qc_view: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TC(view={self.view}, signers={len(self.signers)})"

@@ -1,0 +1,92 @@
+"""Wire messages exchanged between replicas and clients.
+
+Every message carries ``sender`` (a node or client id) and ``size_bytes``
+(used by the network's NIC model).  Replica-to-replica messages additionally
+carry the view they pertain to so handlers can discard stale traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.types.block import Block
+from repro.types.certificates import Timeout, TimeoutCertificate, Vote
+from repro.types.transaction import Transaction
+
+_MESSAGE_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all wire messages."""
+
+    sender: str
+    size_bytes: int
+    message_id: int = field(default_factory=lambda: next(_MESSAGE_COUNTER), compare=False)
+
+
+@dataclass(frozen=True)
+class ProposalMessage(Message):
+    """A leader's block proposal for a view.
+
+    ``forwarded_by`` is set when the message is an echo (Streamlet echoes all
+    messages it receives); echoes are not re-echoed.
+    """
+
+    block: Block = None  # type: ignore[assignment]
+    view: int = 0
+    forwarded_by: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Proposal(view={self.view}, block={self.block.block_id[:10]}, from={self.sender})"
+
+
+@dataclass(frozen=True)
+class VoteMessage(Message):
+    """A replica's vote, sent to the next leader (or broadcast in Streamlet)."""
+
+    vote: Vote = None  # type: ignore[assignment]
+    forwarded_by: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VoteMsg(view={self.vote.view}, block={self.vote.block_id[:10]}, from={self.sender})"
+
+
+@dataclass(frozen=True)
+class TimeoutMessage(Message):
+    """A pacemaker TIMEOUT broadcast announcing the sender's local timeout."""
+
+    timeout: Timeout = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimeoutMsg(view={self.timeout.view}, from={self.sender})"
+
+
+@dataclass(frozen=True)
+class TimeoutCertificateMessage(Message):
+    """A formed TC forwarded to the leader of the next view."""
+
+    tc: TimeoutCertificate = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ClientRequest(Message):
+    """A client transaction submitted to a replica."""
+
+    transaction: Transaction = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ClientReply(Message):
+    """A replica's response to a client request.
+
+    ``status`` is "committed" for a successful commit and "rejected" when the
+    replica's mempool was full and the request was dropped (backpressure);
+    clients only measure latency for committed replies.
+    """
+
+    txid: str = ""
+    committed_at: float = 0.0
+    replica: str = ""
+    status: str = "committed"

@@ -1,0 +1,59 @@
+"""Wire-size accounting used by the NIC/bandwidth model.
+
+The paper's t_NIC term is ``2 · m / b`` where ``m`` is the serialized block
+size and ``b`` the machine bandwidth.  The simulation therefore needs a
+consistent estimate of message sizes.  The constants approximate the secp256k1
+signature, SHA-256 hash, and header sizes of the Go implementation; they only
+need to be *relatively* correct (payload scaling, vote vs. block ratio) for
+the evaluation shapes to hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SizeModel:
+    """Byte-size estimates for every message kind."""
+
+    hash_size: int = 32
+    signature_size: int = 65
+    view_number_size: int = 8
+    tx_header_size: int = 24
+    block_header_size: int = 96
+    client_request_overhead: int = 64
+    client_reply_size: int = 96
+    timeout_message_size: int = 120
+
+    def transaction_size(self, payload_size: int) -> int:
+        """Serialized size of one transaction with ``payload_size`` extra bytes."""
+        return self.tx_header_size + payload_size
+
+    def qc_size(self, num_signers: int) -> int:
+        """Serialized size of a quorum certificate with ``num_signers`` votes."""
+        return self.hash_size + self.view_number_size + num_signers * self.signature_size
+
+    def block_size(self, num_transactions: int, payload_size: int, qc_signers: int) -> int:
+        """Serialized size of a proposal carrying a block and its embedded QC."""
+        return (
+            self.block_header_size
+            + self.qc_size(qc_signers)
+            + num_transactions * self.transaction_size(payload_size)
+        )
+
+    def block_size_for(self, transactions, qc_signers: int) -> int:
+        """Serialized size of a proposal for a concrete transaction batch."""
+        return (
+            self.block_header_size
+            + self.qc_size(qc_signers)
+            + sum(self.transaction_size(tx.payload_size) for tx in transactions)
+        )
+
+    def vote_size(self) -> int:
+        """Serialized size of a vote message."""
+        return self.hash_size + self.view_number_size + self.signature_size
+
+    def client_request_size(self, payload_size: int) -> int:
+        """Serialized size of a client request."""
+        return self.client_request_overhead + payload_size

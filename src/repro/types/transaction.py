@@ -1,0 +1,57 @@
+"""Client transactions (requests) replicated by the protocols."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A client operation to be ordered by the blockchain.
+
+    The execution layer is a simple key-value store (as in the paper), so a
+    transaction carries an operation, a key, and a value.  ``payload_size``
+    is the number of *extra* payload bytes attached to the request; it feeds
+    the NIC/bandwidth model but its contents are irrelevant, so no actual
+    byte string is materialized.
+    """
+
+    txid: str
+    client_id: str
+    operation: str = "put"
+    key: str = ""
+    value: str = ""
+    payload_size: int = 0
+    created_at: float = 0.0
+    sequence: int = field(default_factory=lambda: next(_COUNTER))
+
+    @classmethod
+    def create(
+        cls,
+        client_id: str,
+        created_at: float,
+        payload_size: int = 0,
+        operation: str = "put",
+        key: Optional[str] = None,
+        value: str = "",
+    ) -> "Transaction":
+        """Build a transaction with a unique id."""
+        sequence = next(_COUNTER)
+        txid = f"tx-{client_id}-{sequence}"
+        return cls(
+            txid=txid,
+            client_id=client_id,
+            operation=operation,
+            key=key if key is not None else f"k{sequence % 1024}",
+            value=value,
+            payload_size=payload_size,
+            created_at=created_at,
+            sequence=sequence,
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.txid)

@@ -1,0 +1,6 @@
+"""Pytest configuration: make the shared helpers importable from any test."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

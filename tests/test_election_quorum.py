@@ -1,0 +1,201 @@
+"""Unit tests for leader election and quorum tracking."""
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import sign
+from repro.election.election import (
+    HashBasedElection,
+    RoundRobinElection,
+    StaticLeaderElection,
+    make_election,
+)
+from repro.quorum.quorum import QuorumTracker, TimeoutTracker, max_faulty, quorum_size
+from repro.types.certificates import Timeout, timeout_digest
+
+from helpers import build_certified_chain, make_vote
+
+
+NODES = ["r0", "r1", "r2", "r3"]
+
+
+class TestElection:
+    def test_round_robin_rotates(self):
+        election = RoundRobinElection(NODES)
+        assert [election.leader(v) for v in range(1, 6)] == ["r1", "r2", "r3", "r0", "r1"]
+
+    def test_round_robin_is_leader(self):
+        election = RoundRobinElection(NODES)
+        assert election.is_leader("r1", 1)
+        assert not election.is_leader("r0", 1)
+
+    def test_static_leader_never_changes(self):
+        election = StaticLeaderElection(NODES, master="r2")
+        assert all(election.leader(v) == "r2" for v in range(20))
+
+    def test_static_leader_must_be_a_node(self):
+        with pytest.raises(ValueError):
+            StaticLeaderElection(NODES, master="r9")
+
+    def test_hash_election_is_deterministic(self):
+        a = HashBasedElection(NODES, seed=3)
+        b = HashBasedElection(NODES, seed=3)
+        assert [a.leader(v) for v in range(50)] == [b.leader(v) for v in range(50)]
+
+    def test_hash_election_spreads_leadership(self):
+        election = HashBasedElection(NODES, seed=3)
+        leaders = {election.leader(v) for v in range(100)}
+        assert leaders == set(NODES)
+
+    def test_hash_election_seed_changes_schedule(self):
+        a = [HashBasedElection(NODES, seed=1).leader(v) for v in range(50)]
+        b = [HashBasedElection(NODES, seed=2).leader(v) for v in range(50)]
+        assert a != b
+
+    def test_make_election_master_takes_precedence(self):
+        election = make_election(NODES, master="r3", kind="hash")
+        assert isinstance(election, StaticLeaderElection)
+
+    def test_make_election_kinds(self):
+        assert isinstance(make_election(NODES), RoundRobinElection)
+        assert isinstance(make_election(NODES, kind="hash"), HashBasedElection)
+        with pytest.raises(ValueError):
+            make_election(NODES, kind="lottery")
+
+    def test_empty_node_list_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinElection([])
+
+
+class TestQuorumSizes:
+    def test_max_faulty(self):
+        assert max_faulty(4) == 1
+        assert max_faulty(8) == 2
+        assert max_faulty(32) == 10
+        assert max_faulty(1) == 0
+
+    def test_quorum_size(self):
+        assert quorum_size(4) == 3
+        assert quorum_size(7) == 5
+        assert quorum_size(8) == 6
+        assert quorum_size(32) == 22
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(ValueError):
+            max_faulty(0)
+
+
+class TestQuorumTracker:
+    def setup_method(self):
+        self.registry = KeyRegistry()
+        self.forest, self.blocks = build_certified_chain([1])
+        self.block = self.blocks[0]
+
+    def test_qc_forms_at_threshold(self):
+        tracker = QuorumTracker(4, self.registry)
+        qc = None
+        for voter in ["r0", "r1", "r2"]:
+            qc = tracker.add_and_certify(make_vote(self.registry, voter, self.block))
+        assert qc is not None
+        assert qc.block_id == self.block.block_id
+        assert len(qc.signers) == 3
+
+    def test_no_qc_below_threshold(self):
+        tracker = QuorumTracker(4, self.registry)
+        for voter in ["r0", "r1"]:
+            assert tracker.add_and_certify(make_vote(self.registry, voter, self.block)) is None
+
+    def test_duplicate_votes_do_not_count(self):
+        tracker = QuorumTracker(4, self.registry)
+        vote = make_vote(self.registry, "r0", self.block)
+        tracker.voted(vote)
+        assert not tracker.voted(vote)
+        assert tracker.vote_count(self.block.view, self.block.block_id) == 1
+        assert tracker.duplicate_votes == 1
+
+    def test_qc_is_emitted_only_once(self):
+        tracker = QuorumTracker(4, self.registry)
+        for voter in ["r0", "r1", "r2"]:
+            tracker.voted(make_vote(self.registry, voter, self.block))
+        assert tracker.certified(self.block.view, self.block.block_id) is not None
+        assert tracker.certified(self.block.view, self.block.block_id) is None
+
+    def test_extra_votes_after_qc_do_not_reissue(self):
+        tracker = QuorumTracker(4, self.registry)
+        for voter in ["r0", "r1", "r2"]:
+            tracker.add_and_certify(make_vote(self.registry, voter, self.block))
+        assert tracker.add_and_certify(make_vote(self.registry, "r3", self.block)) is None
+
+    def test_invalid_signature_rejected(self):
+        tracker = QuorumTracker(4, self.registry)
+        vote = make_vote(self.registry, "r0", self.block)
+        tampered = type(vote)(
+            voter="r1",
+            block_id=vote.block_id,
+            view=vote.view,
+            signature=vote.signature,
+        )
+        self.registry.register("r1")
+        assert not tracker.voted(tampered)
+        assert tracker.invalid_votes == 1
+
+    def test_votes_for_different_blocks_are_separate(self):
+        forest, blocks = build_certified_chain([1, 2])
+        tracker = QuorumTracker(4, self.registry)
+        for voter in ["r0", "r1"]:
+            tracker.voted(make_vote(self.registry, voter, blocks[0]))
+        tracker.voted(make_vote(self.registry, "r2", blocks[1]))
+        assert tracker.certified(blocks[0].view, blocks[0].block_id) is None
+
+
+class TestTimeoutTracker:
+    def _timeout(self, registry, voter, view):
+        keypair = registry.register(voter)
+        return Timeout(
+            voter=voter,
+            view=view,
+            high_qc_view=view - 1,
+            signature=sign(keypair, timeout_digest(view)),
+        )
+
+    def test_tc_forms_at_threshold(self):
+        registry = KeyRegistry()
+        tracker = TimeoutTracker(4, registry)
+        tc = None
+        for voter in ["r0", "r1", "r2"]:
+            tc = tracker.add_and_certify(self._timeout(registry, voter, view=5))
+        assert tc is not None
+        assert tc.view == 5
+        assert tc.high_qc_view == 4
+
+    def test_duplicates_do_not_count(self):
+        registry = KeyRegistry()
+        tracker = TimeoutTracker(4, registry)
+        timeout = self._timeout(registry, "r0", view=5)
+        assert tracker.record(timeout)
+        assert not tracker.record(timeout)
+        assert tracker.timeout_count(5) == 1
+
+    def test_tc_only_once_per_view(self):
+        registry = KeyRegistry()
+        tracker = TimeoutTracker(4, registry)
+        for voter in ["r0", "r1", "r2"]:
+            tracker.add_and_certify(self._timeout(registry, voter, view=5))
+        assert tracker.add_and_certify(self._timeout(registry, "r3", view=5)) is None
+
+    def test_views_tracked_independently(self):
+        registry = KeyRegistry()
+        tracker = TimeoutTracker(4, registry)
+        tracker.record(self._timeout(registry, "r0", view=5))
+        tracker.record(self._timeout(registry, "r1", view=6))
+        assert tracker.timeout_count(5) == 1
+        assert tracker.timeout_count(6) == 1
+
+    def test_invalid_signature_rejected(self):
+        registry = KeyRegistry()
+        tracker = TimeoutTracker(4, registry)
+        good = self._timeout(registry, "r0", view=5)
+        registry.register("r1")
+        forged = Timeout(voter="r1", view=5, high_qc_view=0, signature=good.signature)
+        assert not tracker.record(forged)
+        assert tracker.invalid_timeouts == 1

@@ -1,0 +1,73 @@
+"""Unit tests for the key-value execution layer."""
+
+import pytest
+
+from repro.executor.kvstore import KeyValueStore
+from repro.types.transaction import Transaction
+
+
+def tx(operation="put", key="k", value="v", txid=None):
+    base = Transaction.create("c0", created_at=0.0, operation=operation, key=key, value=value)
+    if txid is None:
+        return base
+    return Transaction(
+        txid=txid,
+        client_id="c0",
+        operation=operation,
+        key=key,
+        value=value,
+    )
+
+
+class TestKeyValueStore:
+    def test_put_then_get(self):
+        store = KeyValueStore()
+        store.apply(tx(operation="put", key="a", value="1"))
+        assert store.get("a") == "1"
+        assert len(store) == 1
+
+    def test_get_operation_returns_value(self):
+        store = KeyValueStore()
+        store.apply(tx(operation="put", key="a", value="1"))
+        assert store.apply(tx(operation="get", key="a")) == "1"
+
+    def test_get_missing_key(self):
+        store = KeyValueStore()
+        assert store.apply(tx(operation="get", key="missing")) is None
+
+    def test_delete_removes_key(self):
+        store = KeyValueStore()
+        store.apply(tx(operation="put", key="a", value="1"))
+        store.apply(tx(operation="delete", key="a"))
+        assert store.get("a") is None
+
+    def test_unknown_operation_raises(self):
+        store = KeyValueStore()
+        with pytest.raises(ValueError):
+            store.apply(tx(operation="increment", key="a"))
+
+    def test_reapply_is_idempotent(self):
+        store = KeyValueStore()
+        transaction = tx(operation="put", key="a", value="1")
+        store.apply(transaction)
+        store.apply(transaction)
+        assert store.operations_applied == 1
+        assert store.was_applied(transaction.txid)
+
+    def test_was_applied_false_for_unknown(self):
+        assert not KeyValueStore().was_applied("nope")
+
+    def test_state_digest_reflects_content(self):
+        a = KeyValueStore()
+        b = KeyValueStore()
+        a.apply(tx(operation="put", key="x", value="1", txid="t1"))
+        b.apply(tx(operation="put", key="x", value="1", txid="t2"))
+        assert a.state_digest() == b.state_digest()
+        b.apply(tx(operation="put", key="y", value="2", txid="t3"))
+        assert a.state_digest() != b.state_digest()
+
+    def test_last_write_wins(self):
+        store = KeyValueStore()
+        store.apply(tx(operation="put", key="a", value="1", txid="t1"))
+        store.apply(tx(operation="put", key="a", value="2", txid="t2"))
+        assert store.get("a") == "2"

@@ -1,0 +1,109 @@
+"""Integration tests for the two Byzantine strategies (paper §IV-A, §VI-C).
+
+The assertions mirror the qualitative findings of Figures 13 and 14:
+
+* forking hurts HotStuff (two blocks overwritten per attack) more than
+  two-chain HotStuff (one block), and does not affect Streamlet at all;
+* the silence attack degrades HotStuff and 2CHS alike (the pre-silence block
+  loses its certificate), while Streamlet's chain growth rate stays 1;
+* block intervals start at the commit-rule depth and grow with the number of
+  Byzantine replicas, faster under silence than under forking;
+* no attack ever causes a safety violation or divergent committed chains.
+"""
+
+import pytest
+
+from repro.bench.config import Configuration
+from repro.bench.runner import run_experiment
+
+BYZ = dict(
+    num_nodes=8,
+    block_size=30,
+    runtime=1.2,
+    warmup=0.2,
+    cooldown=0.3,
+    concurrency=15,
+    num_clients=2,
+    cost_profile="fast",
+    view_timeout=0.04,
+    election="hash",
+    request_timeout=0.3,
+    seed=5,
+)
+
+
+def attack(protocol, strategy, byzantine, **overrides):
+    params = dict(BYZ)
+    params.update(overrides)
+    config = Configuration(
+        protocol=protocol, strategy=strategy, byzantine_nodes=byzantine, **params
+    )
+    return run_experiment(config)
+
+
+class TestForkingAttack:
+    def test_hotstuff_chain_growth_drops(self):
+        honest = attack("hotstuff", "forking", 0)
+        attacked = attack("hotstuff", "forking", 2)
+        assert honest.metrics.chain_growth_rate == pytest.approx(1.0, abs=0.02)
+        assert attacked.metrics.chain_growth_rate < 0.85
+
+    def test_two_chain_is_more_resilient_than_hotstuff(self):
+        hs = attack("hotstuff", "forking", 2)
+        two_chain = attack("2chainhs", "forking", 2)
+        assert two_chain.metrics.chain_growth_rate > hs.metrics.chain_growth_rate
+        assert two_chain.metrics.blocks_forked < hs.metrics.blocks_forked
+
+    def test_streamlet_is_immune(self):
+        streamlet = attack("streamlet", "forking", 2, runtime=0.8)
+        assert streamlet.metrics.chain_growth_rate == pytest.approx(1.0, abs=0.02)
+        assert streamlet.metrics.blocks_forked == 0
+
+    def test_more_byzantine_nodes_fork_more(self):
+        light = attack("hotstuff", "forking", 1)
+        heavy = attack("hotstuff", "forking", 2)
+        assert heavy.metrics.chain_growth_rate <= light.metrics.chain_growth_rate
+
+    def test_block_interval_rises_with_attack(self):
+        honest = attack("hotstuff", "forking", 0)
+        attacked = attack("hotstuff", "forking", 2)
+        assert attacked.metrics.block_interval > honest.metrics.block_interval
+
+    def test_no_safety_violation_and_consistent(self):
+        for protocol in ("hotstuff", "2chainhs"):
+            result = attack(protocol, "forking", 2)
+            assert result.metrics.safety_violations == 0
+            assert result.consistent
+
+
+class TestSilenceAttack:
+    def test_throughput_drops_for_all_protocols(self):
+        for protocol in ("hotstuff", "2chainhs", "streamlet"):
+            honest = attack(protocol, "silence", 0, runtime=0.8)
+            attacked = attack(protocol, "silence", 2, runtime=0.8)
+            assert attacked.metrics.throughput_tps < honest.metrics.throughput_tps
+
+    def test_hotstuff_and_two_chain_lose_blocks_alike(self):
+        hs = attack("hotstuff", "silence", 2)
+        two_chain = attack("2chainhs", "silence", 2)
+        assert hs.metrics.chain_growth_rate < 0.95
+        assert two_chain.metrics.chain_growth_rate < 0.95
+        assert hs.metrics.chain_growth_rate == pytest.approx(
+            two_chain.metrics.chain_growth_rate, abs=0.1
+        )
+
+    def test_streamlet_chain_growth_stays_one(self):
+        streamlet = attack("streamlet", "silence", 2, runtime=0.8)
+        assert streamlet.metrics.chain_growth_rate > 0.97
+        assert streamlet.metrics.blocks_forked == 0
+
+    def test_silence_raises_block_interval_more_than_forking(self):
+        silence = attack("hotstuff", "silence", 2)
+        forking = attack("hotstuff", "forking", 2)
+        assert silence.metrics.block_interval > forking.metrics.block_interval
+
+    def test_no_safety_violation_and_consistent(self):
+        for protocol in ("hotstuff", "2chainhs", "streamlet"):
+            result = attack(protocol, "silence", 2, runtime=0.8)
+            assert result.metrics.safety_violations == 0
+            assert result.consistent

@@ -1,0 +1,141 @@
+"""Integration tests for fault injection: crashes, partitions, fluctuation, responsiveness."""
+
+import pytest
+
+from repro.bench.config import Configuration
+from repro.bench.runner import build_cluster
+from repro.bench.timeline import ResponsivenessScenario, run_responsiveness
+from repro.network.fluctuation import FluctuationWindow
+from repro.network.partition import Partition
+
+FAST = dict(
+    num_nodes=4,
+    block_size=20,
+    concurrency=10,
+    num_clients=1,
+    cost_profile="fast",
+    view_timeout=0.03,
+    election="hash",
+    request_timeout=0.3,
+    seed=9,
+)
+
+
+def make_cluster(runtime=2.0, **overrides):
+    params = dict(FAST)
+    params.update(overrides)
+    config = Configuration(warmup=0.0, runtime=runtime, cooldown=0.0, **params)
+    return build_cluster(config)
+
+
+class TestCrashRecovery:
+    def test_progress_continues_after_single_crash(self):
+        cluster = make_cluster()
+        cluster.start()
+        cluster.run(until=0.5)
+        height_before = cluster.replicas["r0"].forest.committed_height
+        cluster.replicas["r3"].crash()
+        cluster.run(until=2.0)
+        assert cluster.replicas["r0"].forest.committed_height > height_before
+        assert cluster.consistency_check()
+
+    def test_no_progress_beyond_quorum_loss(self):
+        cluster = make_cluster()
+        cluster.start()
+        cluster.run(until=0.5)
+        cluster.replicas["r2"].crash()
+        cluster.replicas["r3"].crash()
+        height_after_crash = cluster.replicas["r0"].forest.committed_height
+        cluster.run(until=1.5)
+        assert cluster.replicas["r0"].forest.committed_height <= height_after_crash + 1
+
+
+class TestPartition:
+    def test_minority_partition_blocks_then_recovers(self):
+        cluster = make_cluster()
+        node_ids = set(cluster.config.node_ids())
+        cluster.network.add_partition(
+            Partition.isolate(node_ids, {"r3"}, start=0.5, end=1.2)
+        )
+        cluster.start()
+        cluster.run(until=2.0)
+        # The majority keeps committing and the isolated node catches up after
+        # the partition heals (it at least stays consistent).
+        assert cluster.replicas["r0"].forest.committed_height > 10
+        assert cluster.consistency_check()
+
+    def test_majority_loss_stalls_commits_until_heal(self):
+        cluster = make_cluster()
+        cluster.network.add_partition(
+            Partition(
+                groups=(frozenset({"r0", "r1"}), frozenset({"r2", "r3"})),
+                start=0.5,
+                end=1.0,
+            )
+        )
+        cluster.start()
+        cluster.run(until=0.5)
+        height_before = cluster.replicas["r0"].forest.committed_height
+        cluster.run(until=1.0)
+        height_during = cluster.replicas["r0"].forest.committed_height
+        cluster.run(until=2.0)
+        height_after = cluster.replicas["r0"].forest.committed_height
+        assert height_during <= height_before + 2
+        assert height_after > height_during
+        assert cluster.consistency_check()
+
+
+class TestFluctuationAndResponsiveness:
+    def test_fluctuation_stalls_small_timeout_cluster(self):
+        cluster = make_cluster(view_timeout=0.01)
+        cluster.network.add_fluctuation(
+            FluctuationWindow(start=0.5, end=1.0, min_delay=0.02, max_delay=0.06)
+        )
+        cluster.start()
+        cluster.run(until=0.5)
+        before = cluster.replicas["r0"].forest.committed_height
+        cluster.run(until=1.0)
+        during = cluster.replicas["r0"].forest.committed_height
+        cluster.run(until=1.6)
+        after = cluster.replicas["r0"].forest.committed_height
+        # Commits nearly stop while every message outlives the 10 ms timeout,
+        # and resume once the fluctuation ends.
+        assert during - before < (after - during)
+
+    def test_responsiveness_scenario_produces_timeline(self):
+        scenario = ResponsivenessScenario(
+            fluctuation_start=0.4,
+            fluctuation_duration=0.5,
+            fluctuation_min=0.02,
+            fluctuation_max=0.05,
+            crash_at=1.0,
+            total_duration=1.8,
+            bucket=0.2,
+        )
+        config = Configuration(protocol="hotstuff", runtime=1.8, **FAST)
+        result = run_responsiveness(config, scenario)
+        assert result.timeline
+        assert result.crashed_replica == "r3"
+        assert result.throughput_before > 0
+        assert result.consistent
+
+    def test_hotstuff_recovers_after_fluctuation_and_crash(self):
+        scenario = ResponsivenessScenario(
+            fluctuation_start=0.4,
+            fluctuation_duration=0.5,
+            fluctuation_min=0.02,
+            fluctuation_max=0.05,
+            crash_at=1.0,
+            total_duration=2.0,
+            bucket=0.2,
+        )
+        config = Configuration(protocol="hotstuff", runtime=2.0, **FAST).replace(
+            view_timeout=0.01
+        )
+        result = run_responsiveness(config, scenario)
+        assert result.throughput_during < result.throughput_before * 0.5
+        assert result.throughput_after > 0
+
+    def test_scenario_validation_helpers(self):
+        scenario = ResponsivenessScenario(fluctuation_start=5.0, fluctuation_duration=10.0)
+        assert scenario.fluctuation_end == pytest.approx(15.0)

@@ -1,0 +1,156 @@
+"""Unit tests for the mempool."""
+
+import pytest
+
+from repro.mempool.mempool import Mempool
+
+from helpers import make_transactions
+
+
+class TestAdd:
+    def test_add_and_len(self):
+        pool = Mempool(capacity=10)
+        txs = make_transactions(3)
+        for tx in txs:
+            assert pool.add(tx)
+        assert len(pool) == 3
+
+    def test_duplicate_pending_rejected(self):
+        pool = Mempool(capacity=10)
+        (tx,) = make_transactions(1)
+        assert pool.add(tx)
+        assert not pool.add(tx)
+        assert pool.total_rejected == 1
+
+    def test_capacity_enforced(self):
+        pool = Mempool(capacity=2)
+        txs = make_transactions(3)
+        assert pool.add(txs[0])
+        assert pool.add(txs[1])
+        assert not pool.add(txs[2])
+        assert pool.is_full
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Mempool(capacity=0)
+
+    def test_contains_by_txid(self):
+        pool = Mempool()
+        (tx,) = make_transactions(1)
+        pool.add(tx)
+        assert tx.txid in pool
+
+    def test_already_proposed_transaction_rejected(self):
+        pool = Mempool()
+        (tx,) = make_transactions(1)
+        pool.add(tx)
+        pool.next_batch(1)
+        assert not pool.add(tx)
+
+
+class TestBatching:
+    def test_next_batch_is_fifo(self):
+        pool = Mempool()
+        txs = make_transactions(5)
+        for tx in txs:
+            pool.add(tx)
+        batch = pool.next_batch(3)
+        assert [t.txid for t in batch] == [t.txid for t in txs[:3]]
+        assert len(pool) == 2
+
+    def test_next_batch_smaller_than_request(self):
+        pool = Mempool()
+        txs = make_transactions(2)
+        for tx in txs:
+            pool.add(tx)
+        assert len(pool.next_batch(400)) == 2
+
+    def test_next_batch_zero_or_negative(self):
+        pool = Mempool()
+        pool.add(make_transactions(1)[0])
+        assert pool.next_batch(0) == ()
+        assert pool.next_batch(-1) == ()
+
+    def test_peek_does_not_remove(self):
+        pool = Mempool()
+        txs = make_transactions(2)
+        for tx in txs:
+            pool.add(tx)
+        assert pool.peek().txid == txs[0].txid
+        assert len(pool) == 2
+
+    def test_peek_empty_pool(self):
+        assert Mempool().peek() is None
+
+
+class TestRequeue:
+    def test_requeued_transactions_go_to_front(self):
+        pool = Mempool()
+        txs = make_transactions(4)
+        for tx in txs:
+            pool.add(tx)
+        forked = pool.next_batch(2)
+        pool.requeue_front(forked)
+        order = pool.snapshot_ids()
+        assert order[:2] == [t.txid for t in forked]
+        assert order[2:] == [t.txid for t in txs[2:]]
+
+    def test_requeue_ignores_capacity(self):
+        pool = Mempool(capacity=2)
+        txs = make_transactions(2)
+        for tx in txs:
+            pool.add(tx)
+        batch = pool.next_batch(2)
+        extra = make_transactions(2)
+        for tx in extra:
+            pool.add(tx)
+        requeued = pool.requeue_front(batch)
+        assert requeued == 2
+        assert len(pool) == 4
+
+    def test_requeue_skips_still_pending(self):
+        pool = Mempool()
+        txs = make_transactions(2)
+        for tx in txs:
+            pool.add(tx)
+        assert pool.requeue_front(txs) == 0
+
+    def test_requeued_transaction_can_be_batched_again(self):
+        pool = Mempool()
+        (tx,) = make_transactions(1)
+        pool.add(tx)
+        batch = pool.next_batch(1)
+        pool.requeue_front(batch)
+        assert pool.next_batch(1)[0].txid == tx.txid
+
+
+class TestCommitted:
+    def test_mark_committed_removes_pending_copy(self):
+        pool = Mempool()
+        txs = make_transactions(3)
+        for tx in txs:
+            pool.add(tx)
+        pool.mark_committed([txs[1]])
+        assert txs[1].txid not in pool
+        assert len(pool) == 2
+
+    def test_mark_committed_clears_proposed_marker(self):
+        pool = Mempool()
+        (tx,) = make_transactions(1)
+        pool.add(tx)
+        pool.next_batch(1)
+        pool.mark_committed([tx])
+        # A committed transaction re-offered by a confused client is accepted
+        # again only because the pool no longer tracks it; the replica-level
+        # executor is what prevents double execution.
+        assert pool.add(tx)
+
+    def test_counters(self):
+        pool = Mempool()
+        txs = make_transactions(2)
+        for tx in txs:
+            pool.add(tx)
+        batch = pool.next_batch(2)
+        pool.requeue_front(batch)
+        assert pool.total_added == 2
+        assert pool.total_requeued == 2

@@ -1,0 +1,171 @@
+"""Unit tests for the pacemaker (view synchronization)."""
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import sign
+from repro.pacemaker.pacemaker import Pacemaker, ViewChangeReason
+from repro.quorum.quorum import TimeoutTracker
+from repro.sim.events import EventScheduler
+from repro.types.certificates import Timeout, TimeoutCertificate, timeout_digest
+
+
+class PacemakerHarness:
+    """Wires a pacemaker to recording callbacks for the tests."""
+
+    def __init__(self, view_timeout=0.1, num_nodes=4, timeout_provider=None):
+        self.scheduler = EventScheduler()
+        self.registry = KeyRegistry()
+        self.view_starts = []
+        self.local_timeouts = []
+        self.pacemaker = Pacemaker(
+            scheduler=self.scheduler,
+            node_id="r0",
+            timeout_tracker=TimeoutTracker(num_nodes, self.registry),
+            view_timeout=view_timeout,
+            on_view_start=lambda view, reason: self.view_starts.append((view, reason)),
+            on_local_timeout=self.local_timeouts.append,
+            timeout_provider=timeout_provider,
+        )
+
+    def remote_timeout(self, voter, view):
+        keypair = self.registry.register(voter)
+        return Timeout(
+            voter=voter,
+            view=view,
+            high_qc_view=0,
+            signature=sign(keypair, timeout_digest(view)),
+        )
+
+
+class TestViewAdvancement:
+    def test_start_enters_initial_view(self):
+        h = PacemakerHarness()
+        h.pacemaker.start()
+        assert h.pacemaker.current_view == 1
+        assert h.view_starts == [(1, ViewChangeReason.START)]
+
+    def test_start_twice_rejected(self):
+        h = PacemakerHarness()
+        h.pacemaker.start()
+        with pytest.raises(RuntimeError):
+            h.pacemaker.start()
+
+    def test_qc_advances_to_next_view(self):
+        h = PacemakerHarness()
+        h.pacemaker.start()
+        assert h.pacemaker.advance_on_qc(1)
+        assert h.pacemaker.current_view == 2
+        assert h.view_starts[-1] == (2, ViewChangeReason.QC)
+
+    def test_stale_qc_does_not_advance(self):
+        h = PacemakerHarness()
+        h.pacemaker.start()
+        h.pacemaker.advance_on_qc(5)
+        assert not h.pacemaker.advance_on_qc(3)
+        assert h.pacemaker.current_view == 6
+
+    def test_qc_can_skip_ahead_many_views(self):
+        h = PacemakerHarness()
+        h.pacemaker.start()
+        h.pacemaker.advance_on_qc(10)
+        assert h.pacemaker.current_view == 11
+
+    def test_tc_advances_to_next_view(self):
+        h = PacemakerHarness()
+        h.pacemaker.start()
+        tc = TimeoutCertificate(view=1, signers=frozenset({"r0", "r1", "r2"}))
+        assert h.pacemaker.advance_on_tc(tc)
+        assert h.pacemaker.current_view == 2
+        assert h.view_starts[-1] == (2, ViewChangeReason.TC)
+
+    def test_stats_count_reasons(self):
+        h = PacemakerHarness()
+        h.pacemaker.start()
+        h.pacemaker.advance_on_qc(1)
+        h.pacemaker.advance_on_tc(TimeoutCertificate(view=2, signers=frozenset({"r0"})))
+        assert h.pacemaker.stats.view_changes_on_qc == 1
+        assert h.pacemaker.stats.view_changes_on_tc == 1
+        assert h.pacemaker.stats.highest_view == 3
+
+    def test_views_entered_at_records_times(self):
+        h = PacemakerHarness()
+        h.pacemaker.start()
+        h.scheduler.run_until(0.0)
+        assert 1 in h.pacemaker.stats.views_entered_at
+
+
+class TestTimers:
+    def test_local_timeout_fires_after_view_timeout(self):
+        h = PacemakerHarness(view_timeout=0.05)
+        h.pacemaker.start()
+        h.scheduler.run_until(0.06)
+        assert h.local_timeouts == [1]
+        assert h.pacemaker.stats.local_timeouts == 1
+
+    def test_timer_is_reset_on_view_change(self):
+        h = PacemakerHarness(view_timeout=0.05)
+        h.pacemaker.start()
+        h.scheduler.run_until(0.03)
+        h.pacemaker.advance_on_qc(1)
+        h.scheduler.run_until(0.07)
+        # The old view-1 timer was cancelled; only view 2's timer may fire later.
+        assert h.local_timeouts == []
+        h.scheduler.run_until(0.09)
+        assert h.local_timeouts == [2]
+
+    def test_timeout_rearms_while_stuck(self):
+        h = PacemakerHarness(view_timeout=0.05)
+        h.pacemaker.start()
+        h.scheduler.run_until(0.26)
+        assert h.local_timeouts == [1] * 5
+
+    def test_stop_cancels_timer(self):
+        h = PacemakerHarness(view_timeout=0.05)
+        h.pacemaker.start()
+        h.pacemaker.stop()
+        h.scheduler.run_until(1.0)
+        assert h.local_timeouts == []
+
+    def test_timeout_provider_backoff(self):
+        h = PacemakerHarness(
+            view_timeout=0.05, timeout_provider=lambda consecutive: 0.05 * (2 ** consecutive)
+        )
+        h.pacemaker.start()
+        # Fires at 0.05, re-arms with 0.1 (one consecutive timeout) so it
+        # fires again at 0.15, then with 0.2 so it fires at 0.35.
+        h.scheduler.run_until(0.31)
+        assert h.local_timeouts == [1, 1]
+        h.scheduler.run_until(0.36)
+        assert h.local_timeouts == [1, 1, 1]
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            PacemakerHarness(view_timeout=0.0)
+
+
+class TestTimeoutCertificates:
+    def test_remote_timeouts_form_tc(self):
+        h = PacemakerHarness()
+        h.pacemaker.start()
+        tc = None
+        for voter in ["r1", "r2", "r3"]:
+            tc = h.pacemaker.process_remote_timeout(h.remote_timeout(voter, view=1))
+        assert tc is not None
+        assert tc.view == 1
+
+    def test_tc_then_advance(self):
+        h = PacemakerHarness()
+        h.pacemaker.start()
+        for voter in ["r1", "r2", "r3"]:
+            tc = h.pacemaker.process_remote_timeout(h.remote_timeout(voter, view=1))
+        h.pacemaker.advance_on_tc(tc)
+        assert h.pacemaker.current_view == 2
+
+    def test_consecutive_timeout_counter_resets_on_qc(self):
+        h = PacemakerHarness(view_timeout=0.05)
+        h.pacemaker.start()
+        h.scheduler.run_until(0.06)
+        assert h.pacemaker._consecutive_timeouts == 1
+        h.pacemaker.advance_on_qc(1)
+        assert h.pacemaker._consecutive_timeouts == 0

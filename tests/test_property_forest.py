@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the block forest invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.forest.forest import BlockForest
+from repro.types.block import GENESIS_ID, make_block
+from repro.types.certificates import QuorumCertificate
+
+
+def apply_script(script):
+    """Build a forest from a script of (parent_choice, certify) actions.
+
+    Each action extends a randomly chosen existing block with a new block at
+    the next unused view, optionally certifying it.  The result is an
+    arbitrary block tree that nevertheless respects the structural rules
+    (monotone views, height = parent height + 1).
+    """
+    forest = BlockForest()
+    blocks = [forest.genesis]
+    view = 0
+    for parent_choice, certify_flag in script:
+        view += 1
+        parent = blocks[parent_choice % len(blocks)]
+        qc = QuorumCertificate(
+            block_id=parent.block_id, view=parent.view, signers=frozenset({"r0", "r1", "r2"})
+        )
+        block = make_block(view, parent, qc, f"r{parent_choice % 4}", ())
+        forest.add_block(block)
+        if certify_flag:
+            forest.record_qc(
+                QuorumCertificate(
+                    block_id=block.block_id, view=block.view, signers=frozenset({"r0", "r1", "r2"})
+                )
+            )
+        blocks.append(block)
+    return forest, blocks
+
+
+script_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1000), st.booleans()),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestForestInvariants:
+    @given(script=script_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_heights_and_views_increase_along_every_path(self, script):
+        forest, blocks = apply_script(script)
+        for block in blocks[1:]:
+            vertex = forest.get(block.block_id)
+            parent = forest.parent(block.block_id)
+            assert vertex.height == parent.height + 1
+            assert vertex.view > parent.view
+
+    @given(script=script_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_every_block_reaches_genesis(self, script):
+        forest, blocks = apply_script(script)
+        for block in blocks[1:]:
+            ancestors = list(forest.ancestors(block.block_id))
+            assert ancestors[-1].block_id == GENESIS_ID
+
+    @given(script=script_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_ancestry_is_antisymmetric(self, script):
+        forest, blocks = apply_script(script)
+        for a in blocks:
+            for b in blocks:
+                if a.block_id == b.block_id:
+                    continue
+                both = forest.is_ancestor(a.block_id, b.block_id) and forest.is_ancestor(
+                    b.block_id, a.block_id
+                )
+                assert not both
+
+    @given(script=script_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_longest_certified_tip_is_certified_and_highest(self, script):
+        forest, _blocks = apply_script(script)
+        tip = forest.longest_certified_tip()
+        assert tip.certified
+        for vertex in [forest.get(b.block_id) for b in _blocks]:
+            if vertex.certified:
+                assert vertex.height <= tip.height
+
+    @given(script=script_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_tip_maximizes_chain_length_on_fully_notarized_forests(self, script):
+        # In the states Streamlet can actually reach, every certified block
+        # has a certified parent; restrict the forest to that case and check
+        # that the height-based tip is also the longest-notarized-chain tip.
+        forest, blocks = apply_script([(choice, True) for choice, _ in script])
+        tip = forest.longest_certified_tip()
+        tip_length = forest.certified_chain_length(tip.block_id)
+        for vertex in [forest.get(b.block_id) for b in blocks]:
+            assert forest.certified_chain_length(vertex.block_id) <= tip_length
+
+    @given(script=script_strategy, commit_index=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_committed_chain_is_a_single_path(self, script, commit_index):
+        forest, blocks = apply_script(script)
+        target = blocks[commit_index % len(blocks)]
+        forest.commit(target.block_id, at_view=999)
+        chain = forest.committed_chain
+        # Consecutive committed blocks are parent/child pairs.
+        for parent_id, child_id in zip(chain, chain[1:]):
+            assert forest.get(child_id).block.parent_id == parent_id
+
+    @given(script=script_strategy, commit_index=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_prune_never_removes_committed_blocks(self, script, commit_index):
+        forest, blocks = apply_script(script)
+        target = blocks[commit_index % len(blocks)]
+        forest.commit(target.block_id, at_view=999)
+        committed_before = set(forest.committed_chain)
+        forest.prune(forest.committed_height)
+        for block_id in committed_before:
+            assert block_id in forest
+
+    @given(script=script_strategy, commit_index=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_pruned_blocks_conflict_with_the_committed_chain(self, script, commit_index):
+        forest, blocks = apply_script(script)
+        target = blocks[commit_index % len(blocks)]
+        forest.commit(target.block_id, at_view=999)
+        last_committed = forest.last_committed().block_id
+        removed = forest.prune(forest.committed_height)
+        for vertex in removed:
+            assert not forest.is_ancestor(vertex.block_id, last_committed)

@@ -1,0 +1,118 @@
+"""Unit tests for the Streamlet safety rules (paper §II-D)."""
+
+from repro.forest.forest import BlockForest
+from repro.protocols.streamlet import StreamletSafety
+from repro.types.block import GENESIS_ID, make_block
+
+from helpers import build_certified_chain, certify, extend_chain, make_transactions
+
+
+def chain_with_safety(views):
+    forest, blocks = build_certified_chain(views)
+    safety = StreamletSafety(forest)
+    for block in blocks:
+        safety.note_embedded_qc(forest.get(block.block_id).qc)
+    return forest, blocks, safety
+
+
+class TestMetadata:
+    def test_protocol_properties(self):
+        safety = StreamletSafety(BlockForest())
+        assert safety.protocol_name == "streamlet"
+        assert safety.votes_broadcast
+        assert safety.echo_messages
+        assert not safety.responsive
+        assert safety.commit_rule_depth == 3
+
+
+class TestProposingRule:
+    def test_proposal_extends_longest_notarized_chain(self):
+        forest, blocks, safety = chain_with_safety([1, 2, 3])
+        plan = safety.choose_extension()
+        assert plan.parent_id == blocks[-1].block_id
+
+    def test_proposal_ignores_shorter_certified_fork(self):
+        forest, blocks, safety = chain_with_safety([1, 2, 3])
+        fork = make_block(4, forest.get_block(GENESIS_ID), forest.get(GENESIS_ID).qc, "byz", ())
+        forest.add_block(fork)
+        certify(forest, fork)
+        plan = safety.choose_extension()
+        assert plan.parent_id == blocks[-1].block_id
+
+    def test_proposal_on_fresh_forest_extends_genesis(self):
+        safety = StreamletSafety(BlockForest())
+        assert safety.choose_extension().parent_id == GENESIS_ID
+
+
+class TestVotingRule:
+    def test_votes_for_extension_of_longest_chain(self):
+        forest, blocks, safety = chain_with_safety([1, 2, 3])
+        tip_qc = forest.get(blocks[-1].block_id).qc
+        proposal = make_block(4, blocks[-1], tip_qc, "r0", make_transactions(1))
+        assert safety.should_vote(proposal)
+
+    def test_rejects_block_on_shorter_chain(self):
+        # This is the forking-attack immunity: a proposal abandoning the
+        # longest notarized chain is never voted for.
+        forest, blocks, safety = chain_with_safety([1, 2, 3])
+        target = blocks[1]
+        fork = make_block(4, target, forest.get(target.block_id).qc, "byz", ())
+        assert not safety.should_vote(fork)
+
+    def test_rejects_block_with_uncertified_parent(self):
+        forest, blocks, safety = chain_with_safety([1, 2])
+        loose = extend_chain(forest, blocks[-1], [3], certify_blocks=False)[0]
+        tip_qc = forest.get(blocks[-1].block_id).qc
+        proposal = make_block(
+            4,
+            loose,
+            tip_qc,
+            "r0",
+            (),
+        )
+        assert not safety.should_vote(proposal)
+
+    def test_votes_only_once_per_view(self):
+        forest, blocks, safety = chain_with_safety([1, 2])
+        tip_qc = forest.get(blocks[-1].block_id).qc
+        first = make_block(3, blocks[-1], tip_qc, "r0", ())
+        second = make_block(3, blocks[-1], tip_qc, "r1", make_transactions(1))
+        assert safety.should_vote(first)
+        safety.record_vote_sent(first)
+        assert not safety.should_vote(second)
+
+    def test_accepts_tie_between_equal_length_chains(self):
+        # Two certified chains of equal length: extending either is valid.
+        forest, blocks = build_certified_chain([1, 2])
+        safety = StreamletSafety(forest)
+        rival = make_block(3, blocks[0], forest.get(blocks[0].block_id).qc, "r1", ())
+        forest.add_block(rival)
+        certify(forest, rival)
+        tip_qc = forest.get(rival.block_id).qc
+        proposal = make_block(4, rival, tip_qc, "r2", ())
+        assert safety.should_vote(proposal)
+
+
+class TestCommitRule:
+    def test_three_consecutive_views_commit_first_two(self):
+        forest, blocks, safety = chain_with_safety([1, 2, 3])
+        assert safety.commit_candidate(blocks[2].block_id) == blocks[1].block_id
+
+    def test_gap_in_views_prevents_commit(self):
+        forest, blocks, safety = chain_with_safety([1, 3, 4])
+        assert safety.commit_candidate(blocks[2].block_id) is None
+
+    def test_genesis_completes_the_first_trio(self):
+        # Genesis is notarized at view 0, so certified blocks at views 1 and 2
+        # already form three consecutive notarized views and commit view 1.
+        forest, blocks, safety = chain_with_safety([1, 2])
+        assert safety.commit_candidate(blocks[1].block_id) == blocks[0].block_id
+
+    def test_commit_requires_three_consecutive_views(self):
+        forest, blocks, safety = chain_with_safety([2, 3])
+        assert safety.commit_candidate(blocks[1].block_id) is None
+
+    def test_middle_already_committed_returns_none(self):
+        forest, blocks, safety = chain_with_safety([1, 2, 3])
+        forest.commit(blocks[1].block_id, at_view=3)
+        assert safety.commit_candidate(blocks[2].block_id) is None

@@ -1,0 +1,264 @@
+"""Unit and small-cluster tests for the replica event loop."""
+
+import pytest
+
+from repro.core.byzantine import ForkingReplica, SilentReplica, make_replica
+from repro.core.replica import Replica, ReplicaSettings
+from repro.crypto.keys import KeyRegistry
+from repro.election.election import HashBasedElection, RoundRobinElection
+from repro.network.delays import FixedDelay
+from repro.network.network import Network
+from repro.sim.events import EventScheduler
+from repro.sim.random import RandomStreams
+from repro.types.messages import ClientRequest
+from repro.types.sizes import SizeModel
+from repro.types.transaction import Transaction
+
+
+def build_mini_cluster(
+    num_nodes=4,
+    protocol="hotstuff",
+    byzantine=(),
+    strategy="silence",
+    view_timeout=0.05,
+    block_size=10,
+    election_kind="round-robin",
+):
+    """A tiny in-process cluster for focused replica tests.
+
+    Fault-injection tests use hash-based (per-view random) election: with
+    strict round-robin and four nodes, a permanently silent replica always
+    occupies the same rotation slot, which starves HotStuff's
+    consecutive-view three-chain — randomized election (the paper's "leader
+    chosen at random") avoids that pathological alignment.
+    """
+    scheduler = EventScheduler()
+    streams = RandomStreams(seed=42)
+    network = Network(scheduler, streams, base_delay=FixedDelay(0.0005))
+    registry = KeyRegistry()
+    node_ids = [f"r{i}" for i in range(num_nodes)]
+    if election_kind == "hash":
+        election = HashBasedElection(node_ids, seed=7)
+    else:
+        election = RoundRobinElection(node_ids)
+    settings = ReplicaSettings(block_size=block_size, view_timeout=view_timeout)
+    replicas = {}
+    for node_id in node_ids:
+        kind = strategy if node_id in byzantine else ""
+        replicas[node_id] = make_replica(
+            kind,
+            node_id,
+            scheduler,
+            network,
+            election,
+            registry,
+            node_ids,
+            protocol=protocol,
+            settings=settings,
+        )
+    return scheduler, network, replicas
+
+
+def submit_transactions(scheduler, network, replica_id, count, sender="c0"):
+    """Register a throwaway client endpoint and push transactions directly."""
+    if sender not in network.endpoints():
+        network.register(sender, lambda m: None)
+    sizes = SizeModel()
+    txs = []
+    for _ in range(count):
+        tx = Transaction.create(sender, created_at=scheduler.now)
+        txs.append(tx)
+        network.send(
+            sender,
+            replica_id,
+            ClientRequest(sender=sender, size_bytes=sizes.client_request_size(0), transaction=tx),
+        )
+    return txs
+
+
+class TestHappyPath:
+    def test_cluster_commits_submitted_transactions(self):
+        scheduler, network, replicas = build_mini_cluster()
+        for replica in replicas.values():
+            replica.start()
+        txs = submit_transactions(scheduler, network, "r0", 5)
+        scheduler.run_until(1.0)
+        observer = replicas["r0"]
+        committed = set(observer.forest.committed_transactions())
+        assert {tx.txid for tx in txs} <= committed
+
+    def test_views_advance_without_timeouts_in_happy_path(self):
+        scheduler, network, replicas = build_mini_cluster(view_timeout=1.0)
+        for replica in replicas.values():
+            replica.start()
+        scheduler.run_until(0.5)
+        for replica in replicas.values():
+            assert replica.pacemaker.stats.local_timeouts == 0
+            assert replica.current_view > 50
+
+    def test_all_replicas_commit_the_same_chain(self):
+        scheduler, network, replicas = build_mini_cluster()
+        for replica in replicas.values():
+            replica.start()
+        submit_transactions(scheduler, network, "r1", 8)
+        scheduler.run_until(1.0)
+        heights = [r.forest.committed_height for r in replicas.values()]
+        reference = replicas["r0"].forest.consistency_hash(min(heights))
+        for replica in replicas.values():
+            assert replica.forest.consistency_hash(min(heights)) == reference
+
+    def test_committed_transactions_are_executed(self):
+        scheduler, network, replicas = build_mini_cluster()
+        for replica in replicas.values():
+            replica.start()
+        submit_transactions(scheduler, network, "r0", 3)
+        scheduler.run_until(1.0)
+        assert replicas["r2"].kvstore.operations_applied >= 3
+
+    def test_leader_proposes_only_in_its_views(self):
+        scheduler, network, replicas = build_mini_cluster(view_timeout=1.0)
+        for replica in replicas.values():
+            replica.start()
+        scheduler.run_until(0.2)
+        # With round-robin rotation and no faults, every replica proposes
+        # roughly the same number of times.
+        counts = [r.stats.proposals_sent for r in replicas.values()]
+        assert min(counts) > 0
+        assert max(counts) - min(counts) <= 2
+
+    def test_client_request_rejected_when_mempool_full(self):
+        scheduler, network, replicas = build_mini_cluster()
+        replicas["r0"].settings.mempool_capacity = 5
+        replicas["r0"].mempool.capacity = 5
+        # Do not start the replicas: nothing drains the mempool.
+        replies = []
+        network.register("c9", replies.append)
+        sizes = SizeModel()
+        for _ in range(8):
+            tx = Transaction.create("c9", created_at=0.0)
+            network.send(
+                "c9",
+                "r0",
+                ClientRequest(sender="c9", size_bytes=sizes.client_request_size(0), transaction=tx),
+            )
+        scheduler.run_until(0.5)
+        rejected = [r for r in replies if r.status == "rejected"]
+        assert len(rejected) == 3
+        assert replicas["r0"].stats.client_rejections == 3
+
+
+class TestCrashAndTimeouts:
+    def test_crashed_replica_stops_participating(self):
+        scheduler, network, replicas = build_mini_cluster()
+        for replica in replicas.values():
+            replica.start()
+        scheduler.run_until(0.1)
+        replicas["r3"].crash()
+        before = replicas["r3"].stats.proposals_sent
+        scheduler.run_until(0.5)
+        assert replicas["r3"].stats.proposals_sent == before
+        assert network.is_crashed("r3")
+
+    def test_cluster_survives_one_crash(self):
+        scheduler, network, replicas = build_mini_cluster(view_timeout=0.02, election_kind="hash")
+        for replica in replicas.values():
+            replica.start()
+        scheduler.run_until(0.1)
+        replicas["r3"].crash()
+        height_at_crash = replicas["r0"].forest.committed_height
+        scheduler.run_until(1.0)
+        assert replicas["r0"].forest.committed_height > height_at_crash
+        assert replicas["r0"].pacemaker.stats.view_changes_on_tc > 0
+
+    def test_two_crashes_out_of_four_block_progress(self):
+        scheduler, network, replicas = build_mini_cluster(view_timeout=0.02, election_kind="hash")
+        for replica in replicas.values():
+            replica.start()
+        scheduler.run_until(0.1)
+        replicas["r2"].crash()
+        replicas["r3"].crash()
+        height_at_crash = replicas["r0"].forest.committed_height
+        scheduler.run_until(0.6)
+        # With only 2 of 4 replicas alive no quorum (3) can form.
+        assert replicas["r0"].forest.committed_height <= height_at_crash + 1
+
+
+class TestByzantineReplicas:
+    def test_silent_replica_never_proposes(self):
+        scheduler, network, replicas = build_mini_cluster(byzantine={"r3"}, strategy="silence")
+        for replica in replicas.values():
+            replica.start()
+        scheduler.run_until(0.5)
+        assert isinstance(replicas["r3"], SilentReplica)
+        assert replicas["r3"].stats.proposals_sent == 0
+        assert replicas["r3"].views_silenced > 0
+
+    def test_silence_attack_forces_timeouts_but_not_stall(self):
+        scheduler, network, replicas = build_mini_cluster(
+            byzantine={"r3"}, strategy="silence", election_kind="hash"
+        )
+        for replica in replicas.values():
+            replica.start()
+        scheduler.run_until(1.0)
+        observer = replicas["r0"]
+        assert observer.pacemaker.stats.view_changes_on_tc > 0
+        assert observer.forest.committed_height > 5
+
+    def test_forking_replica_creates_forks_in_hotstuff(self):
+        scheduler, network, replicas = build_mini_cluster(byzantine={"r3"}, strategy="forking")
+        for replica in replicas.values():
+            replica.start()
+        scheduler.run_until(1.0)
+        assert isinstance(replicas["r3"], ForkingReplica)
+        assert replicas["r3"].forks_attempted > 0
+        assert replicas["r0"].forest.stats.blocks_forked > 0
+
+    def test_forking_is_harmless_in_streamlet(self):
+        scheduler, network, replicas = build_mini_cluster(
+            protocol="streamlet", byzantine={"r3"}, strategy="forking"
+        )
+        for replica in replicas.values():
+            replica.start()
+        scheduler.run_until(0.5)
+        assert replicas["r3"].forks_attempted == 0
+        assert replicas["r0"].forest.stats.blocks_forked == 0
+
+    def test_no_safety_violations_under_either_attack(self):
+        for strategy in ("forking", "silence"):
+            scheduler, network, replicas = build_mini_cluster(byzantine={"r3"}, strategy=strategy)
+            for replica in replicas.values():
+                replica.start()
+            scheduler.run_until(1.0)
+            for replica in replicas.values():
+                assert replica.stats.safety_violations == 0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            build_mini_cluster(byzantine={"r3"}, strategy="equivocation")
+
+
+class TestSettings:
+    def test_default_settings_match_table1(self):
+        settings = ReplicaSettings()
+        assert settings.block_size == 400
+        assert settings.mempool_capacity == 1000
+        assert settings.view_timeout == pytest.approx(0.1)
+
+    def test_is_leader_uses_election(self):
+        scheduler, network, replicas = build_mini_cluster()
+        assert replicas["r1"].is_leader(1)
+        assert not replicas["r0"].is_leader(1)
+
+    def test_block_size_limits_batch(self):
+        scheduler, network, replicas = build_mini_cluster(block_size=2, view_timeout=1.0)
+        for replica in replicas.values():
+            replica.start()
+        submit_transactions(scheduler, network, "r1", 10)
+        scheduler.run_until(0.5)
+        observer = replicas["r0"]
+        sizes = [
+            v.block.num_transactions
+            for v in observer.forest._vertices.values()
+            if not v.block.is_genesis
+        ]
+        assert max(sizes) <= 2

@@ -1,0 +1,160 @@
+"""Unit tests for the event scheduler."""
+
+import pytest
+
+from repro.sim.events import EventScheduler, SimulationError
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        sched = EventScheduler()
+        assert sched.now == 0.0
+
+    def test_custom_start_time(self):
+        sched = EventScheduler(start_time=5.0)
+        assert sched.now == 5.0
+
+    def test_call_after_runs_callback_at_right_time(self):
+        sched = EventScheduler()
+        seen = []
+        sched.call_after(1.5, lambda: seen.append(sched.now))
+        sched.run_until(10.0)
+        assert seen == [1.5]
+
+    def test_call_at_absolute_time(self):
+        sched = EventScheduler()
+        seen = []
+        sched.call_at(3.0, lambda: seen.append(sched.now))
+        sched.run_until(10.0)
+        assert seen == [3.0]
+
+    def test_events_run_in_timestamp_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.call_after(2.0, lambda: order.append("b"))
+        sched.call_after(1.0, lambda: order.append("a"))
+        sched.call_after(3.0, lambda: order.append("c"))
+        sched.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_in_scheduling_order(self):
+        sched = EventScheduler()
+        order = []
+        for name in ["first", "second", "third"]:
+            sched.call_after(1.0, lambda n=name: order.append(n))
+        sched.run_until(10.0)
+        assert order == ["first", "second", "third"]
+
+    def test_callback_arguments_are_passed(self):
+        sched = EventScheduler()
+        seen = []
+        sched.call_after(0.1, seen.append, 42)
+        sched.run_until(1.0)
+        assert seen == [42]
+
+    def test_keyword_arguments_are_passed(self):
+        sched = EventScheduler()
+        seen = {}
+        sched.call_after(0.1, lambda **kw: seen.update(kw), value=7)
+        sched.run_until(1.0)
+        assert seen == {"value": 7}
+
+    def test_scheduling_in_the_past_raises(self):
+        sched = EventScheduler(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sched.call_at(4.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sched = EventScheduler()
+        with pytest.raises(SimulationError):
+            sched.call_after(-0.1, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        sched = EventScheduler()
+        seen = []
+
+        def chain(depth):
+            seen.append(sched.now)
+            if depth > 0:
+                sched.call_after(1.0, chain, depth - 1)
+
+        sched.call_after(1.0, chain, 2)
+        sched.run_until(10.0)
+        assert seen == [1.0, 2.0, 3.0]
+
+
+class TestHorizon:
+    def test_run_until_does_not_execute_beyond_horizon(self):
+        sched = EventScheduler()
+        seen = []
+        sched.call_after(1.0, lambda: seen.append("in"))
+        sched.call_after(5.0, lambda: seen.append("out"))
+        sched.run_until(2.0)
+        assert seen == ["in"]
+        assert sched.pending_events == 1
+
+    def test_clock_advances_to_horizon_when_idle(self):
+        sched = EventScheduler()
+        sched.run_until(7.0)
+        assert sched.now == 7.0
+
+    def test_later_run_resumes_remaining_events(self):
+        sched = EventScheduler()
+        seen = []
+        sched.call_after(5.0, lambda: seen.append(sched.now))
+        sched.run_until(2.0)
+        sched.run_until(10.0)
+        assert seen == [5.0]
+
+    def test_run_until_returns_number_executed(self):
+        sched = EventScheduler()
+        for _ in range(4):
+            sched.call_after(0.5, lambda: None)
+        assert sched.run_until(1.0) == 4
+
+    def test_max_events_limit(self):
+        sched = EventScheduler()
+        for _ in range(10):
+            sched.call_after(0.5, lambda: None)
+        executed = sched.run_until(1.0, max_events=3)
+        assert executed == 3
+
+    def test_run_until_idle_drains_queue(self):
+        sched = EventScheduler()
+        seen = []
+        sched.call_after(1.0, lambda: sched.call_after(1.0, lambda: seen.append("x")))
+        sched.run_until_idle()
+        assert seen == ["x"]
+        assert sched.pending_events == 0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sched = EventScheduler()
+        seen = []
+        event = sched.call_after(1.0, lambda: seen.append("x"))
+        event.cancel()
+        sched.run_until(2.0)
+        assert seen == []
+
+    def test_pending_reflects_state(self):
+        sched = EventScheduler()
+        event = sched.call_after(1.0, lambda: None)
+        assert event.pending
+        event.cancel()
+        assert not event.pending
+
+    def test_fired_event_is_not_pending(self):
+        sched = EventScheduler()
+        event = sched.call_after(1.0, lambda: None)
+        sched.run_until(2.0)
+        assert event.fired
+        assert not event.pending
+
+    def test_processed_counter(self):
+        sched = EventScheduler()
+        sched.call_after(0.1, lambda: None)
+        cancelled = sched.call_after(0.2, lambda: None)
+        cancelled.cancel()
+        sched.run_until(1.0)
+        assert sched.processed_events == 1
