@@ -25,12 +25,12 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bench.config import Configuration
-from repro.bench.timeline import ResponsivenessScenario, run_responsiveness
+from repro import api
+from repro.bench.timeline import ResponsivenessScenario
 
 from common import bench_scale, report
 
-BASE_CONFIG = Configuration(
+BASE_CONFIG = api.Configuration(
     num_nodes=4,
     block_size=100,
     payload_size=128,
@@ -87,13 +87,19 @@ def run(scale: str = "ci") -> List[Dict]:
                 propose_wait_after_tc=wait,
                 runtime=scenario.total_duration,
             )
-            result = run_responsiveness(config, scenario)
+            result = api.run(
+                config, scenario=scenario.to_scenario(), bucket=scenario.bucket
+            )
             rows.append(
                 {
                     "series": f"{label}-{setting}",
-                    "before_tps": result.throughput_before,
-                    "during_tps": result.throughput_during,
-                    "after_crash_tps": result.throughput_after,
+                    "before_tps": result.mean_throughput(0.0, scenario.fluctuation_start),
+                    "during_tps": result.mean_throughput(
+                        scenario.fluctuation_start, scenario.fluctuation_end
+                    ),
+                    "after_crash_tps": result.mean_throughput(
+                        scenario.crash_at, scenario.total_duration
+                    ),
                     "consistent": result.consistent,
                 }
             )

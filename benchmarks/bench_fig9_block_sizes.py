@@ -12,12 +12,12 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bench.config import Configuration
-from repro.bench.sweeps import saturation_sweep, saturation_throughput
+from repro import api
+from repro.bench.sweeps import saturation_throughput
 
 from common import bench_scale, report
 
-BASE_CONFIG = Configuration(
+BASE_CONFIG = api.Configuration(
     num_nodes=4,
     payload_size=0,
     num_clients=2,
@@ -57,7 +57,7 @@ def run(scale: str = "ci") -> List[Dict]:
             config = BASE_CONFIG.replace(
                 protocol=protocol, block_size=block_size, cost_profile=profile
             )
-            points = saturation_sweep(config, concurrency_levels=levels)
+            points = api.sweep(config, concurrency_levels=levels)
             for point in points:
                 rows.append(
                     {

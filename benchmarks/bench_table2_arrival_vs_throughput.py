@@ -11,12 +11,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bench.config import Configuration
-from repro.bench.runner import run_experiment
+from repro import api
 
 from common import bench_scale, report
 
-BASE_CONFIG = Configuration(
+BASE_CONFIG = api.Configuration(
     protocol="hotstuff",
     num_nodes=4,
     block_size=400,
@@ -40,7 +39,7 @@ def run(scale: str = "ci") -> List[Dict]:
     rates = FULL_RATES if scale == "full" else CI_RATES
     rows = []
     for rate in rates:
-        result = run_experiment(BASE_CONFIG.replace(arrival_rate=rate))
+        result = api.run(BASE_CONFIG.replace(arrival_rate=rate))
         rows.append(
             {
                 "arrival_rate_tps": rate,

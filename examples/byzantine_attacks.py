@@ -11,38 +11,42 @@ four metrics respond for each protocol:
   block loses its certificate) while Streamlet's stays at 1, but every
   protocol loses throughput to the timeouts.
 
+Both strategies come from the Byzantine-strategy registry
+(``api.available("strategies")``); registering a new attack is a subclass
+plus a decorator — see README.md.
+
 Run with::
 
     python examples/byzantine_attacks.py
 """
 
-from repro import Configuration, run_experiment
+from repro import api
 
 PROTOCOLS = ["hotstuff", "2chainhs", "streamlet"]
 STRATEGIES = ["forking", "silence"]
 
+BASE = api.Configuration(
+    num_nodes=8,
+    byzantine_nodes=2,
+    block_size=50,
+    concurrency=30,
+    num_clients=2,
+    runtime=1.5,
+    warmup=0.3,
+    cost_profile="fast",
+    view_timeout=0.05,
+    election="hash",        # per-view random leaders, as in the paper's overview
+    request_timeout=0.3,    # clients re-submit requests stuck at silent replicas
+    seed=5,
+)
+
 
 def main() -> None:
-    base = Configuration(
-        num_nodes=8,
-        byzantine_nodes=2,
-        block_size=50,
-        concurrency=30,
-        num_clients=2,
-        runtime=1.5,
-        warmup=0.3,
-        cost_profile="fast",
-        view_timeout=0.05,
-        election="hash",        # per-view random leaders, as in the paper's overview
-        request_timeout=0.3,    # clients re-submit requests stuck at silent replicas
-        seed=5,
-    )
-
     for strategy in STRATEGIES:
         print(f"\n=== {strategy} attack: 8 replicas, 2 Byzantine ===")
         print(f"{'protocol':<12} {'Tx/s':>9} {'latency':>10} {'CGR':>6} {'BI':>6} {'forked':>7}")
         for protocol in PROTOCOLS:
-            result = run_experiment(base.replace(protocol=protocol, strategy=strategy))
+            result = api.run(BASE.replace(protocol=protocol, strategy=strategy))
             metrics = result.metrics
             print(
                 f"{protocol:<12} {metrics.throughput_tps:>9,.0f} "

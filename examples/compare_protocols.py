@@ -2,39 +2,40 @@
 """Compare the three protocols the paper evaluates under identical conditions.
 
 Runs HotStuff, two-chain HotStuff, and Streamlet on the same cluster, the
-same workload, and the same network, then prints a side-by-side comparison —
-the "apples-to-apples" comparison Bamboo exists to make possible.  The
-expected pattern (paper §VI-B): 2CHS commits one round earlier than HotStuff
-(lower latency, same throughput), and Streamlet pays for vote broadcasting
-and message echoing with lower throughput.
+same workload, and the same network through the ``repro.api`` facade, then
+prints a side-by-side comparison — the "apples-to-apples" comparison Bamboo
+exists to make possible.  The expected pattern (paper §VI-B): 2CHS commits
+one round earlier than HotStuff (lower latency, same throughput), and
+Streamlet pays for vote broadcasting and message echoing with lower
+throughput.
 
 Run with::
 
     python examples/compare_protocols.py
 """
 
-from repro import Configuration, run_experiment
+from repro import api
 
 PROTOCOLS = ["hotstuff", "2chainhs", "streamlet"]
 
+BASE = api.Configuration(
+    num_nodes=4,
+    block_size=100,
+    payload_size=128,
+    concurrency=50,
+    num_clients=2,
+    runtime=2.0,
+    warmup=0.5,
+    cost_profile="fast",
+    view_timeout=0.1,
+    seed=7,
+)
+
 
 def main() -> None:
-    base = Configuration(
-        num_nodes=4,
-        block_size=100,
-        payload_size=128,
-        concurrency=50,
-        num_clients=2,
-        runtime=2.0,
-        warmup=0.5,
-        cost_profile="fast",
-        view_timeout=0.1,
-        seed=7,
-    )
-
     print(f"{'protocol':<12} {'Tx/s':>10} {'latency':>10} {'p99':>10} {'BI':>6} {'CGR':>6}")
     for protocol in PROTOCOLS:
-        result = run_experiment(base.replace(protocol=protocol))
+        result = api.run(BASE.replace(protocol=protocol))
         metrics = result.metrics
         print(
             f"{protocol:<12} {metrics.throughput_tps:>10,.0f} "

@@ -4,38 +4,38 @@
 The queuing model predicts end-to-end latency from first principles
 (t_L + t_s + t_commit + w_Q).  This example prints the model's building
 blocks for each protocol, then checks the prediction against an actual
-simulation at a moderate arrival rate — the same cross-validation the paper
-performs in Figure 8.
+simulation (run through the ``repro.api`` facade) at a moderate arrival
+rate — the same cross-validation the paper performs in Figure 8.
 
 Run with::
 
     python examples/model_vs_simulation.py
 """
 
-from repro import AnalyticalModel, Configuration, ModelParameters, run_experiment
+from repro import AnalyticalModel, ModelParameters, api
 
 PROTOCOLS = ["hotstuff", "2chainhs", "streamlet"]
 
+CONFIG = api.Configuration(
+    num_nodes=4,
+    block_size=400,
+    payload_size=0,
+    num_clients=2,
+    runtime=1.5,
+    warmup=0.4,
+    cost_profile="standard",
+    view_timeout=0.5,
+    mempool_capacity=4000,
+    seed=13,
+)
+
 
 def main() -> None:
-    config = Configuration(
-        num_nodes=4,
-        block_size=400,
-        payload_size=0,
-        num_clients=2,
-        runtime=1.5,
-        warmup=0.4,
-        cost_profile="standard",
-        view_timeout=0.5,
-        mempool_capacity=4000,
-        seed=13,
-    )
-
     print("Model building blocks (milliseconds):")
     print(f"{'protocol':<12} {'t_s':>8} {'t_commit':>9} {'t_Q':>8} {'t_NIC':>8} {'saturation':>12}")
     models = {}
     for protocol in PROTOCOLS:
-        model = AnalyticalModel(protocol, ModelParameters.from_configuration(config))
+        model = AnalyticalModel(protocol, ModelParameters.from_configuration(CONFIG))
         models[protocol] = model
         summary = model.summary()
         print(
@@ -49,7 +49,7 @@ def main() -> None:
     print(f"{'protocol':<12} {'model (ms)':>12} {'simulated (ms)':>15}")
     for protocol in PROTOCOLS:
         predicted = models[protocol].latency(rate) * 1e3
-        result = run_experiment(config.replace(protocol=protocol, arrival_rate=rate))
+        result = api.run(CONFIG.replace(protocol=protocol, arrival_rate=rate))
         measured = result.metrics.mean_latency * 1e3
         print(f"{protocol:<12} {predicted:>12.1f} {measured:>15.1f}")
 

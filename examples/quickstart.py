@@ -1,35 +1,37 @@
 #!/usr/bin/env python3
 """Quickstart: run a 4-replica HotStuff cluster and print its metrics.
 
-This is the smallest useful use of the library: build a configuration, run
-one experiment, and inspect throughput, latency, chain growth rate, and
-block interval — the four metrics the paper evaluates.
+This is the smallest useful use of the library: describe one experiment as a
+plain JSON-style dict, hand it to the ``repro.api`` facade, and inspect
+throughput, latency, chain growth rate, and block interval — the four
+metrics the paper evaluates.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Configuration, run_experiment
+from repro import api
+
+CONFIG = {
+    "protocol": "hotstuff",   # any name from api.available("protocols")
+    "num_nodes": 4,
+    "block_size": 100,
+    "payload_size": 0,
+    "concurrency": 50,        # outstanding requests per client
+    "num_clients": 2,
+    "runtime": 2.0,           # measured simulated seconds
+    "warmup": 0.5,
+    "cost_profile": "fast",   # microsecond-scale crypto costs: fast to simulate
+    "view_timeout": 0.1,
+    "seed": 1,
+}
 
 
 def main() -> None:
-    config = Configuration(
-        protocol="hotstuff",   # try "2chainhs", "streamlet", "fasthotstuff", "lbft"
-        num_nodes=4,
-        block_size=100,
-        payload_size=0,
-        concurrency=50,        # outstanding requests per client
-        num_clients=2,
-        runtime=2.0,           # measured simulated seconds
-        warmup=0.5,
-        cost_profile="fast",   # microsecond-scale crypto costs: fast to simulate
-        view_timeout=0.1,
-        seed=1,
-    )
-
-    print(f"Running {config.protocol} with {config.num_nodes} replicas...")
-    result = run_experiment(config)
+    print(f"Available protocols: {', '.join(api.available('protocols'))}")
+    print(f"Running {CONFIG['protocol']} with {CONFIG['num_nodes']} replicas...")
+    result = api.run(CONFIG)
     metrics = result.metrics
 
     print(f"  throughput        : {metrics.throughput_tps:,.0f} Tx/s")

@@ -1,20 +1,52 @@
 #!/usr/bin/env python3
 """Responsiveness under network fluctuation and a crash (paper §VI-D, Fig. 15).
 
-Injects a window of large, variable network delay into a 4-replica cluster
-under load, then crashes one replica, and prints a throughput timeline per
-protocol for two timeout settings.  The optimistically responsive protocol
-(HotStuff) resumes at network speed as soon as the fluctuation ends; the
-others depend on how the timeout was tuned.
+The fault schedule is fully declarative: a window of large, variable network
+delay followed by a replica crash, expressed as two scenario events in a
+JSON-style dict and handed to ``api.run`` alongside the cluster
+configuration.  The optimistically responsive protocol (HotStuff) resumes at
+network speed as soon as the fluctuation ends; the others depend on how the
+timeout was tuned.
 
 Run with::
 
     python examples/responsiveness.py
 """
 
-from repro import Configuration, ResponsivenessScenario, run_responsiveness
+from repro import api
 
 PROTOCOLS = ["hotstuff", "2chainhs", "streamlet"]
+
+FLUCTUATION_START, FLUCTUATION_END = 3.0, 7.0
+CRASH_AT, TOTAL = 8.0, 14.0
+
+#: The whole Fig. 15 fault schedule, as data.
+SCENARIO = {
+    "name": "responsiveness",
+    "duration": TOTAL,
+    "events": [
+        {"kind": "network-fluctuation", "at": FLUCTUATION_START,
+         "duration": FLUCTUATION_END - FLUCTUATION_START,
+         "min_delay": 0.05, "max_delay": 0.2},
+        {"kind": "crash-replica", "at": CRASH_AT, "replica": "last"},
+    ],
+}
+
+BASE = api.Configuration(
+    num_nodes=4,
+    block_size=400,
+    payload_size=128,
+    concurrency=200,
+    num_clients=2,
+    runtime=TOTAL,
+    warmup=0.0,
+    cooldown=0.0,
+    cost_profile="standard",
+    election="hash",
+    request_timeout=1.0,
+    mempool_capacity=4000,
+    seed=41,
+)
 
 
 def sparkline(values, peak):
@@ -30,43 +62,18 @@ def sparkline(values, peak):
 
 
 def main() -> None:
-    scenario = ResponsivenessScenario(
-        fluctuation_start=3.0,
-        fluctuation_duration=4.0,
-        fluctuation_min=0.05,
-        fluctuation_max=0.2,
-        crash_at=8.0,
-        total_duration=14.0,
-        bucket=0.5,
-    )
-    base = Configuration(
-        num_nodes=4,
-        block_size=400,
-        payload_size=128,
-        concurrency=200,
-        num_clients=2,
-        runtime=scenario.total_duration,
-        warmup=0.0,
-        cooldown=0.0,
-        cost_profile="standard",
-        election="hash",
-        request_timeout=1.0,
-        mempool_capacity=4000,
-        seed=41,
-    )
-
     for setting, timeout, wait in [("small timeout", 0.01, 0.0), ("large timeout", 0.25, 0.25)]:
         print(f"\n=== {setting}: view timeout {timeout * 1e3:.0f} ms ===")
-        print(f"(fluctuation {scenario.fluctuation_start:.0f}-{scenario.fluctuation_end:.0f}s, crash at {scenario.crash_at:.0f}s)")
+        print(f"(fluctuation {FLUCTUATION_START:.0f}-{FLUCTUATION_END:.0f}s, crash at {CRASH_AT:.0f}s)")
         for protocol in PROTOCOLS:
-            config = base.replace(protocol=protocol, view_timeout=timeout, propose_wait_after_tc=wait)
-            result = run_responsiveness(config, scenario)
+            config = BASE.replace(protocol=protocol, view_timeout=timeout, propose_wait_after_tc=wait)
+            result = api.run(config, scenario=SCENARIO)
             values = [tps for _, tps in result.timeline]
             peak = max(values) if values else 0.0
             print(
-                f"{protocol:<10} before={result.throughput_before:>7,.0f}  "
-                f"during={result.throughput_during:>7,.0f}  "
-                f"after-crash={result.throughput_after:>7,.0f} Tx/s"
+                f"{protocol:<10} before={result.mean_throughput(0.0, FLUCTUATION_START):>7,.0f}  "
+                f"during={result.mean_throughput(FLUCTUATION_START, FLUCTUATION_END):>7,.0f}  "
+                f"after-crash={result.mean_throughput(CRASH_AT, TOTAL):>7,.0f} Tx/s"
             )
             print(f"           |{sparkline(values, peak)}|")
 

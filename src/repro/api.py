@@ -1,0 +1,168 @@
+"""The public facade: one module for running, sweeping, and extending.
+
+Everything a user script needs lives here::
+
+    from repro import api
+
+    # run one experiment (config may be a Configuration or a plain dict)
+    result = api.run({"protocol": "hotstuff", "num_nodes": 4, "runtime": 2.0})
+
+    # run a fault schedule declaratively
+    result = api.run(config, scenario={"events": [
+        {"kind": "crash-replica", "at": 3.0, "replica": "last"},
+        {"kind": "recover-replica", "at": 6.0, "replica": "last"},
+    ]})
+
+    # sweep client load to a latency/throughput curve
+    points = api.sweep(config, concurrency_levels=[8, 32, 128])
+
+    # extend the framework: every extension point is a register_* decorator
+    @api.register_protocol("myproto")
+    class MyProtocolSafety(Safety): ...
+
+``run``/``build``/``sweep`` accept either a :class:`Configuration` or a
+JSON-style dict (ignoring unknown keys, like Bamboo's config file);
+scenarios likewise accept a :class:`Scenario` or its dict form.
+:func:`available` lists every registered implementation per extension
+point, derived from the registries themselves.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.bench.config import Configuration, ConfigurationError
+from repro.bench.runner import Cluster, ExperimentResult, build_cluster, run_experiment
+from repro.bench.sweeps import SweepPoint, saturation_sweep
+from repro.client.client import available_clients, register_client
+from repro.core.byzantine import available_strategies, register_strategy
+from repro.election.election import available_elections, register_election
+from repro.network.delays import available_delay_models, register_delay_model
+from repro.protocols.registry import available_protocols, register_protocol
+from repro.scenario import (
+    Scenario,
+    ScenarioResult,
+    ScenarioRunner,
+    available_scenario_events,
+    register_scenario_event,
+)
+
+__all__ = [
+    "Cluster",
+    "Configuration",
+    "ConfigurationError",
+    "ExperimentResult",
+    "Scenario",
+    "ScenarioResult",
+    "SweepPoint",
+    "available",
+    "build",
+    "load_config",
+    "register_client",
+    "register_delay_model",
+    "register_election",
+    "register_protocol",
+    "register_scenario_event",
+    "register_strategy",
+    "run",
+    "sweep",
+]
+
+ConfigLike = Union[Configuration, Dict]
+ScenarioLike = Union[Scenario, Dict, None]
+
+
+def _coerce_config(config: ConfigLike) -> Configuration:
+    if isinstance(config, Configuration):
+        return config
+    if isinstance(config, dict):
+        return Configuration.from_dict(config)
+    raise TypeError(f"expected Configuration or dict, got {type(config).__name__}")
+
+
+def _coerce_scenario(scenario: ScenarioLike) -> Optional[Scenario]:
+    if scenario is None or isinstance(scenario, Scenario):
+        return scenario
+    if isinstance(scenario, dict):
+        return Scenario.from_dict(scenario)
+    raise TypeError(f"expected Scenario, dict, or None, got {type(scenario).__name__}")
+
+
+def load_config(source: Union[str, Path, Dict]) -> Configuration:
+    """Build a :class:`Configuration` from a dict or a JSON file path."""
+    if isinstance(source, dict):
+        return Configuration.from_dict(source)
+    data = json.loads(Path(source).read_text())
+    return Configuration.from_dict(data.get("config", data))
+
+
+def build(config: ConfigLike, scenario: ScenarioLike = None) -> Cluster:
+    """Build (but do not run) a fully wired cluster.
+
+    With a ``scenario``, its events are already scheduled on the returned
+    cluster; call ``cluster.start()`` and ``cluster.run()`` yourself to
+    drive it manually.
+    """
+    coerced = _coerce_config(config)
+    declarative = _coerce_scenario(scenario)
+    if declarative is None:
+        return build_cluster(coerced)
+    return ScenarioRunner(coerced, declarative).build()
+
+
+def run(
+    config: ConfigLike,
+    scenario: ScenarioLike = None,
+    bucket: float = 0.5,
+) -> Union[ExperimentResult, ScenarioResult]:
+    """Run one experiment, optionally under a declarative fault schedule.
+
+    Without a scenario this is the classic measured run and returns an
+    :class:`ExperimentResult`; with one it returns a :class:`ScenarioResult`
+    whose ``timeline`` (bucketed at ``bucket`` seconds) shows throughput
+    around each injected event.
+    """
+    coerced = _coerce_config(config)
+    declarative = _coerce_scenario(scenario)
+    if declarative is None:
+        return run_experiment(coerced)
+    return ScenarioRunner(coerced, declarative, bucket=bucket).run()
+
+
+def sweep(
+    config: ConfigLike,
+    concurrency_levels: Optional[Sequence[int]] = None,
+    arrival_rates: Optional[Sequence[float]] = None,
+) -> List[SweepPoint]:
+    """Sweep client load and return one latency/throughput point per level."""
+    return saturation_sweep(
+        _coerce_config(config),
+        concurrency_levels=concurrency_levels,
+        arrival_rates=arrival_rates,
+    )
+
+
+def available(kind: Optional[str] = None) -> Union[Dict[str, List[str]], List[str]]:
+    """List registered implementations, per extension point.
+
+    With no argument, returns a dict mapping each extension point to its
+    canonical names; with one ("protocols", "strategies", "elections",
+    "delay_models", "clients", "scenario_events"), returns that list.
+    """
+    listings = {
+        "protocols": available_protocols(),
+        "strategies": available_strategies(),
+        "elections": available_elections(),
+        "delay_models": available_delay_models(),
+        "clients": available_clients(),
+        "scenario_events": available_scenario_events(),
+    }
+    if kind is None:
+        return listings
+    if kind not in listings:
+        raise ValueError(
+            f"unknown extension point {kind!r}; available: {', '.join(listings)}"
+        )
+    return listings[kind]

@@ -1,6 +1,12 @@
-"""Benchmark facilities: configuration, metrics, experiment runner, sweeps."""
+"""Benchmark facilities: configuration, metrics, experiment runner, sweeps.
 
-from repro.bench.config import Configuration
+The runner builds clusters entirely through the plugin registries
+(:mod:`repro.plugins`); scripts should normally go through the
+:mod:`repro.api` facade, and timed fault injection through
+:mod:`repro.scenario`.
+"""
+
+from repro.bench.config import Configuration, ConfigurationError
 from repro.bench.metrics import MetricsCollector, RunMetrics
 from repro.bench.profiles import cost_profile
 from repro.bench.runner import Cluster, ExperimentResult, build_cluster, run_experiment
@@ -10,6 +16,7 @@ from repro.bench.timeline import ResponsivenessScenario, run_responsiveness
 __all__ = [
     "Cluster",
     "Configuration",
+    "ConfigurationError",
     "ExperimentResult",
     "MetricsCollector",
     "ResponsivenessScenario",

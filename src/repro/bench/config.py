@@ -4,6 +4,12 @@ A :class:`Configuration` captures everything needed to build and run one
 experiment: the protocol, the cluster, the Byzantine setup, the workload, the
 network conditions, and the simulation horizon.  It can be serialized to and
 from a JSON-compatible dict, mirroring Bamboo's JSON configuration file.
+
+The name-valued fields (``protocol``, ``strategy``, ``election``,
+``client``) are registry lookups — any implementation registered through
+:mod:`repro.plugins` is selectable here — and :meth:`Configuration.validate`
+checks them (plus the n ≥ 3f+1 bound and value ranges) with errors that say
+what is available; ``build_cluster`` calls it before wiring anything.
 """
 
 from __future__ import annotations
@@ -11,6 +17,10 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
+
+
+class ConfigurationError(ValueError):
+    """A configuration failed :meth:`Configuration.validate`."""
 
 
 @dataclass
@@ -48,6 +58,10 @@ class Configuration:
     #: If positive, use open-loop Poisson clients with this *total* rate
     #: (transactions per second across all clients) instead of closed-loop.
     arrival_rate: float = 0.0
+    #: Client type (a name from the CLIENTS registry).  The default "auto"
+    #: keeps the historical selection rule: "poisson" when ``arrival_rate``
+    #: is positive, "closed-loop" otherwise.
+    client: str = "auto"
     #: Client-side request timeout: a closed-loop client that has not heard a
     #: reply within this many seconds gives up on the request and re-submits
     #: a fresh one to another randomly chosen replica (this is what keeps a
@@ -105,6 +119,12 @@ class Configuration:
         """Client identifiers, c0..c{m-1}."""
         return [f"c{i}" for i in range(self.num_clients)]
 
+    def resolved_client(self) -> str:
+        """The effective client type once ``"auto"`` is resolved."""
+        if self.client != "auto":
+            return self.client
+        return "poisson" if self.arrival_rate > 0 else "closed-loop"
+
     def byzantine_ids(self) -> List[str]:
         """Ids of the Byzantine replicas (the highest-numbered ones).
 
@@ -124,6 +144,111 @@ class Configuration:
     def measurement_window(self) -> tuple:
         """(start, end) of the measured interval in simulated seconds."""
         return (self.warmup, self.warmup + self.runtime)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> "Configuration":
+        """Check the configuration against the registries and the BFT bound.
+
+        Collects *all* problems and raises one :class:`ConfigurationError`
+        listing them, so a bad config file is fixed in one round trip.
+        Returns ``self`` so it can be chained (``config.validate()``).
+        """
+        # Imported here: config is a leaf module the registries' modules use.
+        from repro.bench.profiles import available_profiles
+        from repro.client.client import CLIENTS
+        from repro.core.byzantine import STRATEGIES
+        from repro.election.election import ELECTIONS
+        from repro.plugins import RegistryError
+        from repro.protocols.registry import PROTOCOLS, available_protocols
+
+        available_protocols()  # load the built-in protocol modules
+        problems: List[str] = []
+
+        def check_registry(field_name: str, value: str, registry) -> None:
+            try:
+                registry.canonical(value)
+            except RegistryError as exc:
+                problems.append(f"{field_name}: {exc}")
+
+        check_registry("protocol", self.protocol, PROTOCOLS)
+        if self.byzantine_nodes > 0:
+            check_registry("strategy", self.strategy, STRATEGIES)
+            quorum_bound = 3 * self.byzantine_nodes + 1
+            if self.num_nodes < quorum_bound:
+                problems.append(
+                    f"byzantine_nodes: {self.byzantine_nodes} Byzantine replicas "
+                    f"need num_nodes >= 3f+1 = {quorum_bound}, got {self.num_nodes} "
+                    f"(quorums would not intersect in an honest replica)"
+                )
+        if self.master:
+            if self.master not in self.node_ids():
+                problems.append(
+                    f"master: {self.master!r} is not a node id "
+                    f"(expected one of r0..r{self.num_nodes - 1})"
+                )
+        else:
+            check_registry("election", self.election, ELECTIONS)
+            if (
+                self.election in ELECTIONS
+                and ELECTIONS.canonical(self.election) == "static"
+            ):
+                problems.append(
+                    "election: 'static' needs the master field to name the "
+                    "fixed leader (e.g. master='r0')"
+                )
+        if self.client != "auto":
+            check_registry("client", self.client, CLIENTS)
+            if (
+                self.client in CLIENTS
+                and CLIENTS.canonical(self.client) == "poisson"
+                and self.arrival_rate <= 0
+            ):
+                problems.append(
+                    "client: 'poisson' is open-loop and needs arrival_rate > 0 "
+                    f"(got {self.arrival_rate})"
+                )
+        if self.cost_profile not in available_profiles():
+            problems.append(
+                f"cost_profile: unknown profile {self.cost_profile!r}; "
+                f"available: {', '.join(available_profiles())}"
+            )
+
+        positives = [
+            ("num_clients", self.num_clients),
+            ("concurrency", self.concurrency),
+            ("mempool_capacity", self.mempool_capacity),
+            ("bandwidth_bps", self.bandwidth_bps),
+            ("view_timeout", self.view_timeout),
+            ("request_timeout", self.request_timeout),
+        ]
+        for name, value in positives:
+            if value <= 0:
+                problems.append(f"{name}: must be positive, got {value}")
+        non_negatives = [
+            ("payload_size", self.payload_size),
+            ("arrival_rate", self.arrival_rate),
+            ("base_delay_mean", self.base_delay_mean),
+            ("base_delay_stddev", self.base_delay_stddev),
+            ("extra_delay_mean", self.extra_delay_mean),
+            ("extra_delay_stddev", self.extra_delay_stddev),
+            ("propose_wait_after_tc", self.propose_wait_after_tc),
+        ]
+        for name, value in non_negatives:
+            if value < 0:
+                problems.append(f"{name}: must be non-negative, got {value}")
+        if self.mempool_capacity > 0 and self.mempool_capacity < self.block_size:
+            problems.append(
+                f"mempool_capacity: {self.mempool_capacity} is smaller than "
+                f"block_size {self.block_size}; no block could ever fill"
+            )
+
+        if problems:
+            raise ConfigurationError(
+                "invalid configuration:\n  - " + "\n  - ".join(problems)
+            )
+        return self
 
     # ------------------------------------------------------------------
     # (de)serialization, replacement

@@ -1,11 +1,14 @@
 """Experiment runner: build a cluster from a configuration and run it.
 
-``build_cluster`` wires the scheduler, network, replicas (honest and
-Byzantine), clients, and metrics collector together; ``run_experiment`` runs
-the whole thing for the configured horizon and returns an
-:class:`ExperimentResult`.  Scenario-style experiments (responsiveness,
-fault injection) build the cluster themselves and inject events before
-running — see :mod:`repro.bench.timeline`.
+``build_cluster`` validates the configuration and wires the scheduler,
+network, replicas, clients, and metrics collector together; every
+protocol-, attack-, election-, delay-, and client-specific choice is a
+registry lookup (see :mod:`repro.plugins`), so a new plugin plus a config
+entry is all it takes to run a new experiment — no runner changes.
+``run_experiment`` runs the whole thing for the configured horizon and
+returns an :class:`ExperimentResult`.  Timed fault injection lives in
+:mod:`repro.scenario`: declare events, and the :class:`ScenarioRunner`
+applies them to the cluster built here.
 """
 
 from __future__ import annotations
@@ -16,9 +19,9 @@ from typing import Dict, List, Optional
 from repro.bench.config import Configuration
 from repro.bench.metrics import MetricsCollector, RunMetrics
 from repro.bench.profiles import cost_profile
-from repro.client.client import ClientBase, ClosedLoopClient, PoissonClient
+from repro.client.client import CLIENTS, ClientBase
 from repro.client.workload import WorkloadSpec
-from repro.core.byzantine import make_replica
+from repro.core.byzantine import STRATEGIES
 from repro.core.replica import Replica, ReplicaSettings
 from repro.crypto.keys import KeyRegistry
 from repro.election.election import make_election
@@ -94,6 +97,7 @@ class ExperimentResult:
 
 def build_cluster(config: Configuration) -> Cluster:
     """Wire up a cluster (replicas, clients, network, metrics) per ``config``."""
+    config.validate()
     scheduler = EventScheduler()
     streams = RandomStreams(seed=config.seed)
     base_delay = NormalDelay(config.base_delay_mean, config.base_delay_stddev)
@@ -131,9 +135,8 @@ def build_cluster(config: Configuration) -> Cluster:
 
     replicas: Dict[str, Replica] = {}
     for node_id in node_ids:
-        strategy = config.strategy if node_id in byzantine else ""
-        replica = make_replica(
-            strategy,
+        replica_cls = STRATEGIES.get(config.strategy) if node_id in byzantine else Replica
+        replica = replica_cls(
             node_id,
             scheduler,
             network,
@@ -148,11 +151,12 @@ def build_cluster(config: Configuration) -> Cluster:
         )
         replicas[node_id] = replica
 
+    client_cls = CLIENTS.get(config.resolved_client())
     clients: List[ClientBase] = []
     workload = WorkloadSpec(payload_size=config.payload_size)
-    for index, client_id in enumerate(config.client_ids()):
-        if config.arrival_rate > 0:
-            client: ClientBase = PoissonClient(
+    for client_id in config.client_ids():
+        clients.append(
+            client_cls.from_config(
                 client_id,
                 scheduler,
                 network,
@@ -161,23 +165,9 @@ def build_cluster(config: Configuration) -> Cluster:
                 workload=workload,
                 size_model=sizes,
                 metrics=metrics,
-                request_timeout=config.request_timeout,
-                rate=config.arrival_rate / config.num_clients,
+                config=config,
             )
-        else:
-            client = ClosedLoopClient(
-                client_id,
-                scheduler,
-                network,
-                streams,
-                node_ids,
-                workload=workload,
-                size_model=sizes,
-                metrics=metrics,
-                request_timeout=config.request_timeout,
-                concurrency=config.concurrency,
-            )
-        clients.append(client)
+        )
 
     return Cluster(
         config=config,

@@ -1,22 +1,25 @@
-"""Scenario runs with fault injection over time (paper §VI-D, Fig. 15).
+"""The responsiveness experiment (paper §VI-D, Fig. 15) as a scenario.
 
-The responsiveness experiment runs four replicas under sustained load,
-injects ten seconds of network fluctuation (one-way delays varying between
-``fluctuation_min`` and ``fluctuation_max``), and afterwards crashes one
-replica (a permanent silence attack).  The outcome is a throughput timeline:
-responsive protocols (HotStuff) resume at network speed as soon as the
-fluctuation ends, while protocols that rely on conservative timeouts only
-make progress at the pace of their timers.
+The experiment runs four replicas under sustained load, injects ten seconds
+of network fluctuation (one-way delays varying between ``fluctuation_min``
+and ``fluctuation_max``), and afterwards crashes one replica (a permanent
+silence attack).  The outcome is a throughput timeline: responsive protocols
+(HotStuff) resume at network speed as soon as the fluctuation ends, while
+protocols that rely on conservative timeouts only make progress at the pace
+of their timers.
+
+Since the declarative scenario layer exists, the whole fault schedule is two
+events (:meth:`ResponsivenessScenario.to_scenario`); this module only keeps
+the Fig. 15 parameter block and result shape.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.bench.config import Configuration
-from repro.bench.runner import Cluster, build_cluster
-from repro.network.fluctuation import FluctuationWindow
+from repro.scenario import CrashReplica, NetworkFluctuation, Scenario, ScenarioRunner
 
 
 @dataclass
@@ -35,6 +38,23 @@ class ResponsivenessScenario:
     def fluctuation_end(self) -> float:
         """When the fluctuation window closes."""
         return self.fluctuation_start + self.fluctuation_duration
+
+    def to_scenario(self) -> Scenario:
+        """The Fig. 15 fault schedule as a declarative scenario."""
+        return Scenario(
+            name="responsiveness",
+            duration=self.total_duration,
+            events=[
+                NetworkFluctuation(
+                    at=self.fluctuation_start,
+                    duration=self.fluctuation_duration,
+                    min_delay=self.fluctuation_min,
+                    max_delay=self.fluctuation_max,
+                ),
+                # r0 is the metrics observer, so the victim is the last replica.
+                CrashReplica(at=self.crash_at, replica="last"),
+            ],
+        )
 
 
 @dataclass
@@ -67,32 +87,15 @@ def run_responsiveness(
         runtime=scenario.total_duration,
         cooldown=0.0,
     )
-    cluster = build_cluster(run_config)
-    cluster.network.add_fluctuation(
-        FluctuationWindow(
-            start=scenario.fluctuation_start,
-            end=scenario.fluctuation_end,
-            min_delay=scenario.fluctuation_min,
-            max_delay=scenario.fluctuation_max,
-        )
-    )
-    # Crash the last replica: the observer (r0) stays honest and running.
-    crashed_id = run_config.node_ids()[-1]
-    cluster.scheduler.call_at(
-        scenario.crash_at, cluster.replicas[crashed_id].crash
-    )
-    cluster.start()
-    cluster.run(until=scenario.total_duration)
-
-    timeline = cluster.metrics.throughput_timeline(
-        bucket=scenario.bucket, end=scenario.total_duration
-    )
+    outcome = ScenarioRunner(
+        run_config, scenario.to_scenario(), bucket=scenario.bucket
+    ).run()
     result = ResponsivenessResult(
         config=run_config,
         scenario=scenario,
-        timeline=timeline,
-        crashed_replica=crashed_id,
-        consistent=cluster.consistency_check(),
+        timeline=outcome.timeline,
+        crashed_replica=run_config.node_ids()[-1],
+        consistent=outcome.consistent,
     )
     result.throughput_before = result.mean_throughput(0.0, scenario.fluctuation_start)
     result.throughput_during = result.mean_throughput(

@@ -1,6 +1,21 @@
-"""Client library: closed-loop and open-loop (Poisson) workload generators."""
+"""Client library: workload generators (a registry-backed extension point)."""
 
-from repro.client.client import ClientBase, ClosedLoopClient, PoissonClient
+from repro.client.client import (
+    CLIENTS,
+    ClientBase,
+    ClosedLoopClient,
+    PoissonClient,
+    available_clients,
+    register_client,
+)
 from repro.client.workload import WorkloadSpec
 
-__all__ = ["ClientBase", "ClosedLoopClient", "PoissonClient", "WorkloadSpec"]
+__all__ = [
+    "CLIENTS",
+    "ClientBase",
+    "ClosedLoopClient",
+    "PoissonClient",
+    "WorkloadSpec",
+    "available_clients",
+    "register_client",
+]

@@ -12,13 +12,22 @@ Two client models are provided, matching the two ways the paper drives load:
 
 Clients pick a uniformly random replica per request, measure latency from
 submission to the committed reply, and report it to the metrics collector.
+
+Client types are an extension point: subclass :class:`ClientBase`, override
+``from_config`` to pull whatever knobs you need from the
+:class:`~repro.bench.config.Configuration`, and register with
+:func:`register_client`; ``Configuration(client="yourkind")`` then selects
+it in every runner.  The default (``client="auto"``) picks Poisson when
+``arrival_rate > 0`` and closed-loop otherwise, matching the two ways the
+paper drives load.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Type
 
 from repro.network.network import Network
+from repro.plugins import Registry
 from repro.sim.events import Event, EventScheduler
 from repro.sim.random import RandomStreams
 from repro.types.messages import ClientReply, ClientRequest, Message
@@ -28,6 +37,20 @@ from repro.client.workload import WorkloadSpec
 
 #: Backoff before re-submitting a request that was rejected by a full mempool.
 REJECTION_BACKOFF = 2e-3
+
+#: The client-type extension point.  Values are ClientBase subclasses built
+#: via their ``from_config`` classmethod.
+CLIENTS: Registry[Type["ClientBase"]] = Registry("client type")
+
+
+def register_client(name: str, *aliases: str, override: bool = False) -> Callable:
+    """Class decorator registering a ClientBase subclass as a client type."""
+    return CLIENTS.register(name, *aliases, override=override)
+
+
+def available_clients() -> List[str]:
+    """Canonical names of the registered client types."""
+    return CLIENTS.available()
 
 
 class ClientBase:
@@ -68,6 +91,43 @@ class ClientBase:
         self.requests_timed_out = 0
 
         network.register(client_id, self.deliver)
+
+    # ------------------------------------------------------------------
+    # construction from a Configuration (registry hook)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        client_id: str,
+        scheduler: EventScheduler,
+        network: Network,
+        streams: RandomStreams,
+        replicas: List[str],
+        *,
+        workload: WorkloadSpec,
+        size_model: SizeModel,
+        metrics,
+        config,
+        **extra,
+    ) -> "ClientBase":
+        """Build a client from a :class:`Configuration`.
+
+        Subclasses extend ``extra`` with their own knobs (concurrency, rate);
+        this is what lets the runner treat every registered client type
+        uniformly.
+        """
+        return cls(
+            client_id,
+            scheduler,
+            network,
+            streams,
+            replicas,
+            workload=workload,
+            size_model=size_model,
+            metrics=metrics,
+            request_timeout=config.request_timeout,
+            **extra,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -165,6 +225,7 @@ class ClientBase:
         """Hook for subclasses (closed-loop clients retry after a backoff)."""
 
 
+@register_client("closed-loop", "closed")
 class ClosedLoopClient(ClientBase):
     """Keeps ``concurrency`` requests outstanding at all times."""
 
@@ -173,6 +234,13 @@ class ClosedLoopClient(ClientBase):
             raise ValueError(f"concurrency must be positive, got {concurrency}")
         super().__init__(*args, **kwargs)
         self.concurrency = concurrency
+
+    @classmethod
+    def from_config(cls, client_id, scheduler, network, streams, replicas, *, config, **kwargs):
+        return super().from_config(
+            client_id, scheduler, network, streams, replicas,
+            config=config, concurrency=config.concurrency, **kwargs,
+        )
 
     def _begin(self) -> None:
         for _ in range(self.concurrency):
@@ -189,6 +257,7 @@ class ClosedLoopClient(ClientBase):
         self._submit_request()
 
 
+@register_client("poisson", "open-loop", "open")
 class PoissonClient(ClientBase):
     """Open-loop client issuing requests as a Poisson process."""
 
@@ -197,6 +266,14 @@ class PoissonClient(ClientBase):
             raise ValueError(f"rate must be positive, got {rate}")
         super().__init__(*args, **kwargs)
         self.rate = rate
+
+    @classmethod
+    def from_config(cls, client_id, scheduler, network, streams, replicas, *, config, **kwargs):
+        # The configured arrival rate is the total across all clients.
+        return super().from_config(
+            client_id, scheduler, network, streams, replicas,
+            config=config, rate=config.arrival_rate / config.num_clients, **kwargs,
+        )
 
     def _begin(self) -> None:
         self._schedule_next_arrival()

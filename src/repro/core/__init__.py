@@ -1,12 +1,24 @@
 """The replica node: where the shared modules and the safety rules meet."""
 
-from repro.core.byzantine import ForkingReplica, SilentReplica, make_replica
+from repro.core.byzantine import (
+    STRATEGIES,
+    ForkingReplica,
+    SilentReplica,
+    available_strategies,
+    convert_replica,
+    make_replica,
+    register_strategy,
+)
 from repro.core.replica import Replica, ReplicaSettings
 
 __all__ = [
+    "STRATEGIES",
     "ForkingReplica",
     "Replica",
     "ReplicaSettings",
     "SilentReplica",
+    "available_strategies",
+    "convert_replica",
     "make_replica",
+    "register_strategy",
 ]

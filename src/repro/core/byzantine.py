@@ -1,9 +1,9 @@
 """Byzantine replica strategies (paper §IV-A).
 
-Both strategies are implemented the way Bamboo implements them: by modifying
-the Proposing rule only.  The attackers never violate the voting rule of
-honest replicas — their proposals remain "valid" from an outsider's view —
-which is what makes the attacks hard to detect while still degrading
+Both built-in strategies are implemented the way Bamboo implements them: by
+modifying the Proposing rule only.  The attackers never violate the voting
+rule of honest replicas — their proposals remain "valid" from an outsider's
+view — which is what makes the attacks hard to detect while still degrading
 performance.
 
 * **Forking attack** — the Byzantine leader proposes a block extending an
@@ -15,38 +15,65 @@ performance.
 * **Silence attack** — the Byzantine leader simply does not propose during
   its views, forcing a timeout and (in the HotStuff variants) the loss of the
   quorum certificate for the previous block.
+
+Strategies are an extension point: subclass :class:`Replica`, override the
+proposing hooks, and register with :func:`register_strategy`::
+
+    @register_strategy("equivocate")
+    class EquivocatingReplica(Replica):
+        _strategy_defaults = {"equivocations": 0}
+        ...
+
+``Configuration(strategy="equivocate")`` then works everywhere.  Per-run
+counters go in ``_strategy_defaults`` (applied both at construction and by
+:func:`convert_replica`, which scenario events use to turn an honest replica
+Byzantine mid-run).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, List, Optional, Type
 
 from repro.core.replica import Replica
+from repro.plugins import Registry
 from repro.protocols.safety import ProposalPlan
 
+#: The Byzantine-strategy extension point.  Values are Replica subclasses.
+STRATEGIES: Registry[Type[Replica]] = Registry("Byzantine strategy")
 
+
+def register_strategy(name: str, *aliases: str, override: bool = False) -> Callable:
+    """Class decorator registering a Replica subclass as a Byzantine strategy."""
+    return STRATEGIES.register(name, *aliases, override=override)
+
+
+def available_strategies() -> List[str]:
+    """Canonical names of the registered Byzantine strategies."""
+    return STRATEGIES.available()
+
+
+# The honest replica doubles as the "no strategy" strategy.
+STRATEGIES.add("honest", Replica, "none")
+
+
+@register_strategy("silence", "silent")
 class SilentReplica(Replica):
     """A replica that stays silent whenever it is the leader."""
 
     strategy = "silence"
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self.views_silenced = 0
+    _strategy_defaults = {"views_silenced": 0}
 
     def _propose(self, view: int) -> None:
         # Remain silent for the whole view; honest replicas will time out.
         self.views_silenced += 1
 
 
+@register_strategy("forking", "fork")
 class ForkingReplica(Replica):
     """A replica that forks the chain as deeply as the voting rule allows."""
 
     strategy = "forking"
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self.forks_attempted = 0
+    _strategy_defaults = {"forks_attempted": 0}
 
     def _proposal_plan(self) -> Optional[ProposalPlan]:
         honest_plan = self.safety.choose_extension()
@@ -81,21 +108,25 @@ class ForkingReplica(Replica):
         return self.safety.commit_rule_depth - 1
 
 
-_STRATEGIES = {
-    "": Replica,
-    "none": Replica,
-    "honest": Replica,
-    "silence": SilentReplica,
-    "forking": ForkingReplica,
-}
+def _strategy_class(strategy: str) -> Type[Replica]:
+    return STRATEGIES.get(strategy) if strategy else Replica
 
 
 def make_replica(strategy: str, *args, **kwargs) -> Replica:
     """Instantiate a replica with the given Byzantine strategy ("" = honest)."""
-    key = strategy.lower()
-    if key not in _STRATEGIES:
-        raise ValueError(
-            f"unknown Byzantine strategy {strategy!r}; expected one of "
-            f"{sorted(k for k in _STRATEGIES if k)}"
-        )
-    return _STRATEGIES[key](*args, **kwargs)
+    return _strategy_class(strategy)(*args, **kwargs)
+
+
+def convert_replica(replica: Replica, strategy: str) -> Replica:
+    """Switch a live replica's behaviour to ``strategy`` (scenario events).
+
+    The object keeps all protocol state (forest, mempool, pacemaker); only
+    its behaviour class changes, and any per-strategy counters that do not
+    exist yet are initialized from ``_strategy_defaults``.
+    """
+    cls = _strategy_class(strategy)
+    replica.__class__ = cls
+    for attr, default in cls._strategy_defaults.items():
+        if not hasattr(replica, attr):
+            setattr(replica, attr, default)
+    return replica

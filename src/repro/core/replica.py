@@ -112,7 +112,18 @@ class ReplicaStats:
 
 
 class Replica:
-    """A correct (honest) replica."""
+    """A correct (honest) replica.
+
+    Byzantine behaviours subclass this, override the proposing hooks, and
+    declare per-strategy counters in ``_strategy_defaults`` (see
+    :mod:`repro.core.byzantine`); the defaults are applied both here and when
+    a scenario event converts a live replica to a different strategy.
+    """
+
+    #: Strategy name for reporting; subclasses override.
+    strategy = "honest"
+    #: Per-strategy counters, initialized at construction and on conversion.
+    _strategy_defaults: Dict[str, int] = {}
 
     def __init__(
         self,
@@ -163,6 +174,8 @@ class Replica:
         self._replied_txids: set[str] = set()
         self._last_proposed_view = 0
         self._crashed = False
+        for attr, default in self._strategy_defaults.items():
+            setattr(self, attr, default)
 
         network.register(node_id, self.deliver)
 
@@ -178,6 +191,26 @@ class Replica:
         self._crashed = True
         self.pacemaker.stop()
         self.network.crash(self.node_id)
+
+    def recover(self) -> None:
+        """Rejoin after a crash: reconnect and re-enter the current view.
+
+        Protocol state (forest, mempool, high QC) is retained, modelling a
+        process restart from durable storage; the pacemaker timer is re-armed
+        and the replica rejoins view synchronization (its timeouts count
+        toward TCs, and it advances on the QCs/TCs it observes).
+
+        There is no block-sync protocol yet, so blocks certified while the
+        replica was down are gone for good: later proposals extend parents it
+        never saw, park forever as pending, and the replica can no longer
+        vote or propose on the main chain.  It participates safely but
+        passively — see ROADMAP (state-sync/catch-up) for the missing piece.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.network.recover(self.node_id)
+        self.pacemaker.resume()
 
     @property
     def current_view(self) -> int:

@@ -1,17 +1,23 @@
-"""Leader election strategies."""
+"""Leader election strategies (a registry-backed extension point)."""
 
 from repro.election.election import (
+    ELECTIONS,
     HashBasedElection,
     LeaderElection,
     RoundRobinElection,
     StaticLeaderElection,
+    available_elections,
     make_election,
+    register_election,
 )
 
 __all__ = [
+    "ELECTIONS",
     "HashBasedElection",
     "LeaderElection",
     "RoundRobinElection",
     "StaticLeaderElection",
+    "available_elections",
     "make_election",
+    "register_election",
 ]

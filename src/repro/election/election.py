@@ -4,14 +4,40 @@ All strategies are deterministic functions of the view so that every replica
 independently agrees on the leader without communication, as required by the
 propose-vote scheme.  The ``master`` configuration parameter of Table I maps
 to :class:`StaticLeaderElection`; the default (``master = 0``) is rotation.
+
+Election schemes are an extension point: subclass :class:`LeaderElection`,
+implement ``leader(view)`` (and ``from_config`` if the scheme needs more
+than the node list), and register with :func:`register_election`::
+
+    @register_election("reputation")
+    class ReputationElection(LeaderElection):
+        def leader(self, view):
+            ...
+
+``Configuration(election="reputation")`` then selects it everywhere.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence
+from typing import Callable, List, Sequence, Type
 
 from repro.crypto.digest import digest_fields
+from repro.plugins import Registry
+
+#: The leader-election extension point.  Values are LeaderElection
+#: subclasses built via their ``from_config`` classmethod.
+ELECTIONS: Registry[Type["LeaderElection"]] = Registry("election kind")
+
+
+def register_election(name: str, *aliases: str, override: bool = False) -> Callable:
+    """Class decorator registering a LeaderElection subclass."""
+    return ELECTIONS.register(name, *aliases, override=override)
+
+
+def available_elections() -> List[str]:
+    """Canonical names of the registered election kinds."""
+    return ELECTIONS.available()
 
 
 class LeaderElection(ABC):
@@ -22,6 +48,17 @@ class LeaderElection(ABC):
             raise ValueError("election requires at least one node")
         self.nodes: List[str] = list(nodes)
 
+    @classmethod
+    def from_config(
+        cls, nodes: Sequence[str], master: str = "", seed: int = 0
+    ) -> "LeaderElection":
+        """Build an instance from configuration values.
+
+        The default implementation only needs the node list; schemes that use
+        the deployment seed or the ``master`` id override this.
+        """
+        return cls(nodes)
+
     @abstractmethod
     def leader(self, view: int) -> str:
         """Return the node id of the leader for ``view``."""
@@ -31,6 +68,7 @@ class LeaderElection(ABC):
         return self.leader(view) == node_id
 
 
+@register_election("round-robin", "rr", "rotation")
 class RoundRobinElection(LeaderElection):
     """Rotate leadership through the node list, one view per node."""
 
@@ -38,6 +76,7 @@ class RoundRobinElection(LeaderElection):
         return self.nodes[view % len(self.nodes)]
 
 
+@register_election("static", "master", "fixed")
 class StaticLeaderElection(LeaderElection):
     """A single stable leader (PBFT-style), used when ``master`` is set."""
 
@@ -47,10 +86,19 @@ class StaticLeaderElection(LeaderElection):
             raise ValueError(f"master {master!r} is not one of the nodes")
         self.master = master
 
+    @classmethod
+    def from_config(
+        cls, nodes: Sequence[str], master: str = "", seed: int = 0
+    ) -> "StaticLeaderElection":
+        if not master:
+            raise ValueError("static election requires a master node id")
+        return cls(nodes, master)
+
     def leader(self, view: int) -> str:
         return self.master
 
 
+@register_election("hash", "random")
 class HashBasedElection(LeaderElection):
     """Pseudo-random rotation derived from a hash of the view and a seed.
 
@@ -63,6 +111,12 @@ class HashBasedElection(LeaderElection):
         super().__init__(nodes)
         self.seed = seed
 
+    @classmethod
+    def from_config(
+        cls, nodes: Sequence[str], master: str = "", seed: int = 0
+    ) -> "HashBasedElection":
+        return cls(nodes, seed=seed)
+
     def leader(self, view: int) -> str:
         digest = digest_fields("leader", self.seed, view)
         index = int(digest[:16], 16) % len(self.nodes)
@@ -73,12 +127,9 @@ def make_election(nodes: Sequence[str], master: str = "", kind: str = "round-rob
     """Build an election strategy from configuration values.
 
     ``master`` (a node id) takes precedence, matching Table I where a
-    non-zero ``master`` selects a static leader.
+    non-zero ``master`` selects a static leader; otherwise ``kind`` is looked
+    up in the :data:`ELECTIONS` registry.
     """
     if master:
         return StaticLeaderElection(nodes, master)
-    if kind == "round-robin":
-        return RoundRobinElection(nodes)
-    if kind == "hash":
-        return HashBasedElection(nodes, seed=seed)
-    raise ValueError(f"unknown election kind {kind!r}")
+    return ELECTIONS.get(kind).from_config(nodes, master=master, seed=seed)

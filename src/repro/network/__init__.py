@@ -13,12 +13,16 @@ network-related quantities of the paper's performance model:
 """
 
 from repro.network.delays import (
+    DELAY_MODELS,
     CompositeDelay,
     DelayModel,
     FixedDelay,
     NormalDelay,
     NoDelay,
     UniformDelay,
+    available_delay_models,
+    make_delay_model,
+    register_delay_model,
 )
 from repro.network.fluctuation import FluctuationWindow
 from repro.network.network import Network, NetworkStats
@@ -26,6 +30,7 @@ from repro.network.nic import NetworkInterface
 from repro.network.partition import Partition
 
 __all__ = [
+    "DELAY_MODELS",
     "CompositeDelay",
     "DelayModel",
     "FixedDelay",
@@ -37,4 +42,7 @@ __all__ = [
     "NormalDelay",
     "Partition",
     "UniformDelay",
+    "available_delay_models",
+    "make_delay_model",
+    "register_delay_model",
 ]

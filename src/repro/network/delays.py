@@ -4,6 +4,12 @@ The paper assumes the round-trip time between any two machines follows a
 normal distribution N(µ, σ); one-way delays here are therefore modelled as
 N(µ/2, σ/2) by the caller's choice of parameters.  Additional configured
 delay (the ``delay`` knob of Table I, e.g. "5ms ± 1ms") composes additively.
+
+Delay models are an extension point: subclass :class:`DelayModel` and
+register with :func:`register_delay_model`; :func:`make_delay_model` then
+builds instances from JSON-style specs like ``{"kind": "normal",
+"mean_delay": 5e-3, "stddev": 1e-3}``, which is how scenario events describe
+delay changes declaratively.
 """
 
 from __future__ import annotations
@@ -11,11 +17,31 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Dict, List, Sequence, Type, Union
+
+from repro.plugins import Registry
+
+#: The delay-model extension point.
+DELAY_MODELS: Registry[Type["DelayModel"]] = Registry("delay model")
+
+
+def register_delay_model(name: str, *aliases: str, override: bool = False) -> Callable:
+    """Class decorator registering a DelayModel subclass."""
+    return DELAY_MODELS.register(name, *aliases, override=override)
+
+
+def available_delay_models() -> List[str]:
+    """Canonical names of the registered delay models."""
+    return DELAY_MODELS.available()
 
 
 class DelayModel(ABC):
     """Samples a one-way propagation delay in seconds."""
+
+    @classmethod
+    def from_spec(cls, **params) -> "DelayModel":
+        """Build an instance from the non-``kind`` keys of a JSON spec."""
+        return cls(**params)
 
     @abstractmethod
     def sample(self, rng: random.Random) -> float:
@@ -26,6 +52,28 @@ class DelayModel(ABC):
         """Expected value of the delay (used by the analytical model)."""
 
 
+def make_delay_model(spec: Union["DelayModel", str, Dict, None]) -> "DelayModel":
+    """Build a delay model from a spec.
+
+    Accepts an existing model (returned unchanged), a registered name
+    (built with no arguments, e.g. ``"none"``), or a JSON-style dict whose
+    ``kind`` key names the model and whose remaining keys are constructor
+    arguments.
+    """
+    if spec is None:
+        return NoDelay()
+    if isinstance(spec, DelayModel):
+        return spec
+    if isinstance(spec, str):
+        return DELAY_MODELS.get(spec).from_spec()
+    params = dict(spec)
+    kind = params.pop("kind", None)
+    if kind is None:
+        raise ValueError(f"delay model spec needs a 'kind' key: {spec!r}")
+    return DELAY_MODELS.get(kind).from_spec(**params)
+
+
+@register_delay_model("none", "no", "zero")
 @dataclass
 class NoDelay(DelayModel):
     """Zero propagation delay (useful for unit tests)."""
@@ -37,6 +85,7 @@ class NoDelay(DelayModel):
         return 0.0
 
 
+@register_delay_model("fixed", "constant")
 @dataclass
 class FixedDelay(DelayModel):
     """A constant delay."""
@@ -54,6 +103,7 @@ class FixedDelay(DelayModel):
         return self.delay
 
 
+@register_delay_model("normal", "gauss", "gaussian")
 @dataclass
 class NormalDelay(DelayModel):
     """Normally distributed delay, truncated at a floor (default 0)."""
@@ -73,6 +123,7 @@ class NormalDelay(DelayModel):
         return self.mean_delay
 
 
+@register_delay_model("uniform")
 @dataclass
 class UniformDelay(DelayModel):
     """Uniformly distributed delay in ``[low, high]``."""
@@ -91,8 +142,13 @@ class UniformDelay(DelayModel):
         return (self.low + self.high) / 2.0
 
 
+@register_delay_model("composite", "sum")
 class CompositeDelay(DelayModel):
     """Sum of several delay models (base LAN delay + configured extra delay)."""
+
+    @classmethod
+    def from_spec(cls, **params) -> "CompositeDelay":
+        return cls([make_delay_model(c) for c in params.get("components", [])])
 
     def __init__(self, components: Sequence[DelayModel]) -> None:
         if not components:

@@ -123,6 +123,20 @@ class Network:
         """Install a partition (messages across groups are dropped)."""
         self._partitions.append(partition)
 
+    def heal_partitions(self, now: Optional[float] = None) -> int:
+        """Close every partition active at ``now`` (default: current time).
+
+        Returns the number of partitions healed.
+        """
+        if now is None:
+            now = self.scheduler.now
+        healed = 0
+        for partition in self._partitions:
+            if partition.active(now):
+                partition.end = now
+                healed += 1
+        return healed
+
     def crash(self, node_id: str) -> None:
         """Crash an endpoint: all traffic to and from it is dropped."""
         self._crashed.add(node_id)

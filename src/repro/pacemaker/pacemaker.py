@@ -103,6 +103,11 @@ class Pacemaker:
             self._timer.cancel()
         self._timer = None
 
+    def resume(self) -> None:
+        """Re-arm after a crash recovery, re-entering the current view."""
+        self._started = True
+        self._enter_view(max(1, self.current_view), ViewChangeReason.START)
+
     # ------------------------------------------------------------------
     # view advancement
     # ------------------------------------------------------------------

@@ -18,11 +18,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.protocols.registry import register_protocol
 from repro.protocols.safety import ProposalPlan, Safety
 from repro.types.block import Block
 from repro.types.certificates import QuorumCertificate
 
 
+@register_protocol("fasthotstuff", "fhs")
 class FastHotStuffSafety(Safety):
     """Two-chain commit with responsiveness-oriented voting."""
 

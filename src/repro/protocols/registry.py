@@ -1,41 +1,56 @@
-"""Protocol registry: map configuration names to Safety implementations."""
+"""Protocol registry: the extension point for chained-BFT protocols.
+
+Protocols register themselves with the :func:`register_protocol` decorator::
+
+    from repro.protocols.registry import register_protocol
+    from repro.protocols.safety import Safety
+
+    @register_protocol("myproto", "mp")
+    class MyProtocolSafety(Safety):
+        ...
+
+After that, ``Configuration(protocol="myproto")`` works everywhere — the
+runner, the facade, the benchmarks — with no other wiring.  The five
+built-in protocols are registered in their own modules and loaded lazily on
+first lookup; :func:`available_protocols` is derived from the registry
+contents rather than a hand-maintained list.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from typing import Callable, List, Type
 
 from repro.forest.forest import BlockForest
-from repro.protocols.fasthotstuff import FastHotStuffSafety
-from repro.protocols.hotstuff import HotStuffSafety
-from repro.protocols.lbft import LeaderBroadcastSafety
+from repro.plugins import Registry, lazy_import
 from repro.protocols.safety import Safety
-from repro.protocols.streamlet import StreamletSafety
-from repro.protocols.twochain import TwoChainHotStuffSafety
 
-_REGISTRY: Dict[str, Type[Safety]] = {
-    "hotstuff": HotStuffSafety,
-    "hs": HotStuffSafety,
-    "2chainhs": TwoChainHotStuffSafety,
-    "2chs": TwoChainHotStuffSafety,
-    "twochain": TwoChainHotStuffSafety,
-    "streamlet": StreamletSafety,
-    "sl": StreamletSafety,
-    "fasthotstuff": FastHotStuffSafety,
-    "fhs": FastHotStuffSafety,
-    "lbft": LeaderBroadcastSafety,
-}
+#: The protocol extension point.  Values are ``Safety`` subclasses
+#: instantiated with the replica's :class:`BlockForest`.
+PROTOCOLS: Registry[Type[Safety]] = Registry("protocol")
+
+_ensure_builtin = lazy_import(
+    [
+        "repro.protocols.hotstuff",
+        "repro.protocols.twochain",
+        "repro.protocols.streamlet",
+        "repro.protocols.fasthotstuff",
+        "repro.protocols.lbft",
+    ]
+)
+
+
+def register_protocol(name: str, *aliases: str, override: bool = False) -> Callable:
+    """Class decorator registering a :class:`Safety` subclass as a protocol."""
+    return PROTOCOLS.register(name, *aliases, override=override)
 
 
 def available_protocols() -> List[str]:
     """Canonical names of the protocols that can be instantiated."""
-    return ["hotstuff", "2chainhs", "streamlet", "fasthotstuff", "lbft"]
+    _ensure_builtin()
+    return PROTOCOLS.available()
 
 
 def make_safety(name: str, forest: BlockForest) -> Safety:
     """Instantiate the Safety module for protocol ``name``."""
-    key = name.lower().replace("-", "").replace("_", "")
-    if key not in _REGISTRY:
-        raise ValueError(
-            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
-        )
-    return _REGISTRY[key](forest)
+    _ensure_builtin()
+    return PROTOCOLS.get(name)(forest)

@@ -23,10 +23,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.protocols.registry import register_protocol
 from repro.protocols.safety import ProposalPlan, Safety
 from repro.types.block import Block
 
 
+@register_protocol("streamlet", "sl")
 class StreamletSafety(Safety):
     """Pacemaker-driven Streamlet."""
 

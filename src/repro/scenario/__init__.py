@@ -1,0 +1,44 @@
+"""Declarative fault-schedule scenarios.
+
+This package turns "what happens during the run" into data: a
+:class:`Scenario` is a list of typed timeline events (crashes, recoveries,
+fluctuation windows, partitions, delay/strategy/rate changes) that a
+:class:`ScenarioRunner` applies to a cluster built by the ordinary registry
+wiring.  Scenarios serialize to/from JSON-style dicts, and event kinds are
+an extension point (:func:`register_scenario_event`).
+"""
+
+from repro.scenario.events import (
+    SCENARIO_EVENTS,
+    CrashReplica,
+    Heal,
+    NetworkFluctuation,
+    Partition,
+    RecoverReplica,
+    ScenarioEvent,
+    SetArrivalRate,
+    SetByzantine,
+    SetDelayModel,
+    available_scenario_events,
+    register_scenario_event,
+)
+from repro.scenario.runner import Scenario, ScenarioResult, ScenarioRunner, run_scenario
+
+__all__ = [
+    "SCENARIO_EVENTS",
+    "CrashReplica",
+    "Heal",
+    "NetworkFluctuation",
+    "Partition",
+    "RecoverReplica",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "SetArrivalRate",
+    "SetByzantine",
+    "SetDelayModel",
+    "available_scenario_events",
+    "register_scenario_event",
+    "run_scenario",
+]

@@ -1,0 +1,136 @@
+"""Scenarios: named, serializable fault schedules, and the runner for them.
+
+A :class:`Scenario` is a list of typed timeline events plus an optional
+duration override — the declarative replacement for hand-wiring fault
+injection into each experiment script.  ``Scenario.from_dict`` /
+``to_dict`` round-trip through the same JSON configuration style as
+:class:`~repro.bench.config.Configuration`, so a whole experiment (cluster +
+fault schedule) can live in one config file::
+
+    {
+      "config":   {"protocol": "hotstuff", "num_nodes": 4, ...},
+      "scenario": {"name": "responsiveness", "events": [
+          {"kind": "network-fluctuation", "at": 5.0, "duration": 10.0,
+           "min_delay": 0.005, "max_delay": 0.05},
+          {"kind": "crash-replica", "at": 20.0, "replica": "last"}
+      ]}
+    }
+
+:class:`ScenarioRunner` builds the cluster through the ordinary registry
+wiring (:func:`repro.bench.runner.build_cluster`), schedules every event,
+runs to the horizon, and returns a :class:`ScenarioResult` with the summary
+metrics plus the throughput timeline the paper's Fig. 15 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.config import Configuration
+from repro.bench.metrics import RunMetrics
+from repro.bench.runner import Cluster, build_cluster
+from repro.scenario.events import ScenarioEvent
+
+
+@dataclass
+class Scenario:
+    """A named schedule of timeline events applied to one run."""
+
+    name: str = "scenario"
+    events: List[ScenarioEvent] = field(default_factory=list)
+    #: Simulated end time of the run; ``None`` uses the configuration's
+    #: ``total_duration``.
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.events = [
+            ScenarioEvent.from_dict(e) if isinstance(e, dict) else e
+            for e in self.events
+        ]
+
+    def schedule(self, cluster: Cluster) -> None:
+        """Install every event on the cluster's scheduler (before start)."""
+        for event in self.events:
+            event.schedule(cluster)
+
+    def horizon(self, config: Configuration) -> float:
+        """The simulated end time of the run."""
+        return self.duration if self.duration is not None else config.total_duration
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Serialize to a JSON-compatible dict."""
+        data: Dict = {"name": self.name, "events": [e.to_dict() for e in self.events]}
+        if self.duration is not None:
+            data["duration"] = self.duration
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Scenario":
+        """Rebuild a scenario serialized with :meth:`to_dict`."""
+        return cls(
+            name=data.get("name", "scenario"),
+            events=[ScenarioEvent.from_dict(e) for e in data.get("events", [])],
+            duration=data.get("duration"),
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run: summary metrics plus the timeline."""
+
+    config: Configuration
+    scenario: Scenario
+    metrics: RunMetrics
+    timeline: List[Tuple[float, float]]
+    consistent: bool
+    highest_view: int
+
+    def mean_throughput(self, start: float, end: float) -> float:
+        """Average Tx/s of the timeline buckets within [start, end)."""
+        values = [tps for t, tps in self.timeline if start <= t < end]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+
+class ScenarioRunner:
+    """Builds a cluster, schedules a scenario's events, and runs it."""
+
+    def __init__(self, config: Configuration, scenario: Scenario, bucket: float = 0.5) -> None:
+        self.config = config
+        self.scenario = scenario
+        #: Width of the throughput-timeline buckets, in simulated seconds.
+        self.bucket = bucket
+
+    def build(self) -> Cluster:
+        """Build the cluster with every scenario event already scheduled."""
+        cluster = build_cluster(self.config)
+        self.scenario.schedule(cluster)
+        return cluster
+
+    def run(self) -> ScenarioResult:
+        """Run the scenario to its horizon and summarize the outcome."""
+        cluster = self.build()
+        horizon = self.scenario.horizon(self.config)
+        cluster.start()
+        cluster.run(until=horizon)
+        observer = cluster.replicas[cluster.observer_id]
+        return ScenarioResult(
+            config=self.config,
+            scenario=self.scenario,
+            metrics=cluster.metrics.summarize(),
+            timeline=cluster.metrics.throughput_timeline(bucket=self.bucket, end=horizon),
+            consistent=cluster.consistency_check(),
+            highest_view=observer.pacemaker.stats.highest_view,
+        )
+
+
+def run_scenario(
+    config: Configuration, scenario: Scenario, bucket: float = 0.5
+) -> ScenarioResult:
+    """Convenience wrapper: ``ScenarioRunner(config, scenario).run()``."""
+    return ScenarioRunner(config, scenario, bucket=bucket).run()

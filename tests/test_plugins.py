@@ -1,0 +1,227 @@
+"""Unit tests for the generic plugin registry machinery."""
+
+import pytest
+
+from repro.plugins import Registry, RegistryError, normalize_name
+
+
+class TestNormalization:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("HotStuff", "hotstuff"),
+            ("Fast-HotStuff", "fasthotstuff"),
+            ("round_robin", "roundrobin"),
+            ("2CHS", "2chs"),
+        ],
+    )
+    def test_normalize_name(self, raw, expected):
+        assert normalize_name(raw) == expected
+
+
+class TestRegistry:
+    def test_add_and_get(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1)
+        assert reg.get("alpha") == 1
+        assert reg.get("ALPHA") == 1
+        assert "alpha" in reg
+        assert len(reg) == 1
+
+    def test_decorator_form_returns_object(self):
+        reg = Registry("widget")
+
+        @reg.register("thing", "th")
+        class Thing:
+            pass
+
+        assert reg.get("thing") is Thing
+        assert reg.get("th") is Thing
+        assert Thing.__name__ == "Thing"
+
+    def test_aliases_resolve_and_are_listed(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1, "a", "al")
+        assert reg.get("a") == 1
+        assert reg.canonical("AL") == "alpha"
+        assert reg.aliases("alpha") == ["a", "al"]
+
+    def test_available_preserves_registration_order(self):
+        reg = Registry("widget")
+        reg.add("zeta", 1)
+        reg.add("alpha", 2)
+        reg.add("mid", 3)
+        assert reg.available() == ["zeta", "alpha", "mid"]
+
+    def test_unknown_name_error_lists_available(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1)
+        reg.add("beta", 2)
+        with pytest.raises(RegistryError, match="unknown widget 'gamma'.*alpha, beta"):
+            reg.get("gamma")
+
+    def test_duplicate_name_rejected(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1)
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.add("alpha", 2)
+
+    def test_duplicate_alias_rejected(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1, "a")
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.add("beta", 2, "a")
+
+    def test_override_replaces(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1)
+        reg.add("alpha", 2, override=True)
+        assert reg.get("alpha") == 2
+        assert reg.available() == ["alpha"]
+
+    def test_override_under_equivalent_name_evicts_shadowed_entry(self):
+        reg = Registry("widget")
+        reg.add("closed-loop", 1)
+        reg.add("closedloop", 2, override=True)  # same normalized name
+        assert reg.get("closed-loop") == 2
+        assert reg.available() == ["closedloop"]
+        assert reg.items() == [("closedloop", 2)]
+
+    def test_override_via_plain_alias_keeps_original_entry(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1, "a")
+        reg.add("beta", 2, "a", override=True)  # steal the alias only
+        assert reg.get("a") == 2
+        assert reg.get("alpha") == 1
+        assert reg.available() == ["alpha", "beta"]
+
+    def test_empty_name_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(RegistryError):
+            reg.add("", 1)
+
+    def test_unregister_removes_entry_and_aliases(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1, "a")
+        reg.unregister("alpha")
+        assert "alpha" not in reg
+        assert "a" not in reg
+        assert reg.available() == []
+
+    def test_items_pairs_names_with_values(self):
+        reg = Registry("widget")
+        reg.add("alpha", 1)
+        reg.add("beta", 2)
+        assert reg.items() == [("alpha", 1), ("beta", 2)]
+
+
+class TestBuiltinRegistries:
+    """The concrete extension points are populated and self-describing."""
+
+    def test_protocols(self):
+        from repro.protocols.registry import PROTOCOLS, available_protocols
+
+        assert available_protocols() == [
+            "hotstuff", "2chainhs", "streamlet", "fasthotstuff", "lbft",
+        ]
+        assert available_protocols() == PROTOCOLS.available()
+
+    def test_strategies(self):
+        from repro.core.byzantine import STRATEGIES, available_strategies
+
+        assert {"honest", "silence", "forking"} <= set(available_strategies())
+        assert STRATEGIES.get("silent") is STRATEGIES.get("silence")
+
+    def test_elections(self):
+        from repro.election.election import ELECTIONS, available_elections
+
+        assert {"round-robin", "static", "hash"} <= set(available_elections())
+        assert ELECTIONS.canonical("rr") == "round-robin"
+
+    def test_delay_models(self):
+        from repro.network.delays import DELAY_MODELS, available_delay_models
+
+        assert {"none", "fixed", "normal", "uniform", "composite"} <= set(
+            available_delay_models()
+        )
+        assert DELAY_MODELS.canonical("gauss") == "normal"
+
+    def test_clients(self):
+        from repro.client.client import CLIENTS, available_clients
+
+        assert {"closed-loop", "poisson"} <= set(available_clients())
+        assert CLIENTS.canonical("open") == "poisson"
+
+    def test_scenario_events(self):
+        from repro.scenario.events import available_scenario_events
+
+        assert {
+            "crash-replica", "recover-replica", "network-fluctuation",
+            "partition", "heal", "set-delay-model", "set-byzantine",
+            "set-arrival-rate",
+        } <= set(available_scenario_events())
+
+
+class TestRegisteringNewImplementations:
+    """A plugin plus a config entry is all it takes (the paper's claim)."""
+
+    def test_new_protocol_runs_through_the_config(self):
+        from repro import api
+        from repro.protocols.hotstuff import HotStuffSafety
+        from repro.protocols.registry import PROTOCOLS
+
+        @api.register_protocol("test-hotstuff-clone")
+        class CloneSafety(HotStuffSafety):
+            pass
+
+        try:
+            result = api.run(
+                {"protocol": "test-hotstuff-clone", "block_size": 20,
+                 "runtime": 0.3, "warmup": 0.1, "cooldown": 0.1,
+                 "concurrency": 5, "num_clients": 1, "cost_profile": "fast",
+                 "view_timeout": 0.05}
+            )
+            assert result.consistent
+            assert result.metrics.committed_blocks > 0
+        finally:
+            PROTOCOLS.unregister("test-hotstuff-clone")
+
+    def test_new_strategy_runs_through_the_config(self):
+        from repro import api
+        from repro.core.byzantine import STRATEGIES, SilentReplica
+
+        @api.register_strategy("test-mute")
+        class MuteReplica(SilentReplica):
+            pass
+
+        try:
+            result = api.run(
+                {"byzantine_nodes": 1, "strategy": "test-mute", "block_size": 20,
+                 "runtime": 0.3, "warmup": 0.1, "cooldown": 0.1,
+                 "concurrency": 5, "num_clients": 1, "cost_profile": "fast",
+                 "view_timeout": 0.05, "request_timeout": 0.2}
+            )
+            assert result.consistent
+        finally:
+            STRATEGIES.unregister("test-mute")
+
+    def test_new_election_runs_through_the_config(self):
+        from repro import api
+        from repro.election.election import ELECTIONS, LeaderElection
+
+        @api.register_election("test-always-r1")
+        class AlwaysR1(LeaderElection):
+            def leader(self, view):
+                return "r1"
+
+        try:
+            result = api.run(
+                {"election": "test-always-r1", "block_size": 20,
+                 "runtime": 0.3, "warmup": 0.1, "cooldown": 0.1,
+                 "concurrency": 5, "num_clients": 1, "cost_profile": "fast",
+                 "view_timeout": 0.05}
+            )
+            assert result.consistent
+            assert result.metrics.committed_blocks > 0
+        finally:
+            ELECTIONS.unregister("test-always-r1")
