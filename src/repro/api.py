@@ -23,8 +23,27 @@ Everything a user script needs lives here::
 ``run``/``build``/``sweep`` accept either a :class:`Configuration` or a
 JSON-style dict (ignoring unknown keys, like Bamboo's config file);
 scenarios likewise accept a :class:`Scenario` or its dict form.
-:func:`available` lists every registered implementation per extension
-point, derived from the registries themselves.
+
+:func:`available` lists every registered implementation per extension point,
+derived from the registries themselves, and one ``register_*`` helper is
+re-exported per registry:
+
+=====================  ===========================  =======================
+``available()`` key    helper                       extended contract
+=====================  ===========================  =======================
+``protocols``          ``register_protocol``        ``Safety`` subclass
+``strategies``         ``register_strategy``        ``Replica`` subclass
+``elections``          ``register_election``        ``LeaderElection``
+``delay_models``       ``register_delay_model``     ``DelayModel``
+``clients``            ``register_client``          ``ClientBase``
+``scenario_events``    ``register_scenario_event``  ``ScenarioEvent``
+``message_handlers``   ``register_message_handler`` handler callable
+=====================  ===========================  =======================
+
+``docs/EXTENDING.md`` walks through every row with runnable examples —
+including the message-handler registry that the block-fetch subsystem
+(:mod:`repro.sync`) uses to plug its ``BlockRequest`` / ``BlockResponse``
+handlers into the replica.
 """
 
 from __future__ import annotations
@@ -38,6 +57,7 @@ from repro.bench.runner import Cluster, ExperimentResult, build_cluster, run_exp
 from repro.bench.sweeps import SweepPoint, saturation_sweep
 from repro.client.client import available_clients, register_client
 from repro.core.byzantine import available_strategies, register_strategy
+from repro.core.dispatch import available_message_handlers, register_message_handler
 from repro.election.election import available_elections, register_election
 from repro.network.delays import available_delay_models, register_delay_model
 from repro.protocols.registry import available_protocols, register_protocol
@@ -63,6 +83,7 @@ __all__ = [
     "register_client",
     "register_delay_model",
     "register_election",
+    "register_message_handler",
     "register_protocol",
     "register_scenario_event",
     "register_strategy",
@@ -149,7 +170,8 @@ def available(kind: Optional[str] = None) -> Union[Dict[str, List[str]], List[st
 
     With no argument, returns a dict mapping each extension point to its
     canonical names; with one ("protocols", "strategies", "elections",
-    "delay_models", "clients", "scenario_events"), returns that list.
+    "delay_models", "clients", "scenario_events", "message_handlers"),
+    returns that list.
     """
     listings = {
         "protocols": available_protocols(),
@@ -158,6 +180,7 @@ def available(kind: Optional[str] = None) -> Union[Dict[str, List[str]], List[st
         "delay_models": available_delay_models(),
         "clients": available_clients(),
         "scenario_events": available_scenario_events(),
+        "message_handlers": available_message_handlers(),
     }
     if kind is None:
         return listings

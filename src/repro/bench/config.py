@@ -91,6 +91,16 @@ class Configuration:
     #: Extra simulated time after the measured window to let commits drain.
     cooldown: float = 0.5
 
+    # --- state sync ------------------------------------------------------
+    #: Block-fetch catch-up (see :mod:`repro.sync`).  On by default; turning
+    #: it off reproduces the pre-sync behaviour where a recovered replica
+    #: rejoins view synchronization but never recovers missed blocks.
+    sync_enabled: bool = True
+    #: Maximum blocks per BlockResponse batch.
+    sync_max_batch: int = 32
+    #: Peers asked per fetch round.
+    sync_fanout: int = 2
+
     # --- simulation ------------------------------------------------------
     seed: int = 1
     #: Cost profile name ("standard", "fast", "ohs") — see bench.profiles.
@@ -222,6 +232,8 @@ class Configuration:
             ("bandwidth_bps", self.bandwidth_bps),
             ("view_timeout", self.view_timeout),
             ("request_timeout", self.request_timeout),
+            ("sync_max_batch", self.sync_max_batch),
+            ("sync_fanout", self.sync_fanout),
         ]
         for name, value in positives:
             if value <= 0:

@@ -17,6 +17,13 @@ From these events the collector derives the four metrics of §IV-B:
   damage done by timeouts;
 * **block interval (BI)** — the average number of views between a block's
   proposal view and the view in which the observer commits it.
+
+Sync activity (fetch rounds and fetched blocks/bytes, see :mod:`repro.sync`)
+is reported by *every* replica, not just the observer: the interesting
+syncers are recovered or partition-healed replicas, which are rarely the
+observer.  Sync counters are whole-run totals — catch-up typically happens
+outside the measurement window, and windowing it away would hide exactly the
+traffic the fault scenarios are about.
 """
 
 from __future__ import annotations
@@ -56,6 +63,10 @@ class RunMetrics:
     blocks_forked: int
     safety_violations: int
     latency_samples: int
+    #: Block-fetch activity across the whole cluster and run (not windowed).
+    sync_rounds: int = 0
+    sync_blocks_fetched: int = 0
+    sync_bytes_fetched: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view used by the benchmark report printers."""
@@ -71,6 +82,9 @@ class RunMetrics:
             "blocks_added": self.blocks_added,
             "blocks_forked": self.blocks_forked,
             "safety_violations": self.safety_violations,
+            "sync_rounds": self.sync_rounds,
+            "sync_blocks_fetched": self.sync_blocks_fetched,
+            "sync_bytes_fetched": self.sync_bytes_fetched,
         }
 
 
@@ -89,6 +103,11 @@ class MetricsCollector:
         self.views_entered: Dict[int, float] = {}
         self.safety_violations = 0
         self.observer: Optional[str] = None
+        # Sync activity is never windowed or attributed, so plain counters
+        # suffice (per-replica detail lives in each SyncManager's stats).
+        self.sync_rounds = 0
+        self.sync_blocks_fetched = 0
+        self.sync_bytes_fetched = 0
 
     # ------------------------------------------------------------------
     # observer-side events
@@ -121,6 +140,18 @@ class MetricsCollector:
     def record_safety_violation(self, node_id: str) -> None:
         """The observer detected a conflicting commit (should never happen)."""
         self.safety_violations += 1
+
+    # ------------------------------------------------------------------
+    # sync events (reported by every replica, not just the observer)
+    # ------------------------------------------------------------------
+    def record_sync_round(self, node_id: str, now: float) -> None:
+        """A replica issued one block-fetch round (to its fanout of peers)."""
+        self.sync_rounds += 1
+
+    def record_sync_fetch(self, node_id: str, num_blocks: int, num_bytes: int, now: float) -> None:
+        """A replica ingested one BlockResponse (``num_blocks`` newly inserted)."""
+        self.sync_blocks_fetched += num_blocks
+        self.sync_bytes_fetched += num_bytes
 
     # ------------------------------------------------------------------
     # client-side events
@@ -221,4 +252,7 @@ class MetricsCollector:
             blocks_forked=sum(1 for t, _ in self.blocks_forked if self._in_window(t)),
             safety_violations=self.safety_violations,
             latency_samples=sum(1 for t, _ in self.latencies if self._in_window(t)),
+            sync_rounds=self.sync_rounds,
+            sync_blocks_fetched=self.sync_blocks_fetched,
+            sync_bytes_fetched=self.sync_bytes_fetched,
         )

@@ -29,6 +29,7 @@ from repro.network.delays import NoDelay, NormalDelay
 from repro.network.network import Network
 from repro.sim.events import EventScheduler
 from repro.sim.random import RandomStreams
+from repro.sync.manager import SyncSettings, SyncStats
 from repro.types.sizes import SizeModel
 
 
@@ -72,6 +73,15 @@ class Cluster:
         min_height = min(r.forest.committed_height for r in honest)
         reference = honest[0].forest.consistency_hash(min_height)
         return all(r.forest.consistency_hash(min_height) == reference for r in honest)
+
+    def sync_report(self) -> SyncStats:
+        """Aggregate block-fetch counters across every replica."""
+        total = SyncStats()
+        for replica in self.replicas.values():
+            stats = replica.sync.stats
+            for name in vars(total):
+                setattr(total, name, getattr(total, name) + getattr(stats, name))
+        return total
 
 
 @dataclass
@@ -126,6 +136,11 @@ def build_cluster(config: Configuration) -> Cluster:
         mempool_capacity=config.mempool_capacity,
         view_timeout=config.view_timeout,
         propose_wait_after_tc=config.propose_wait_after_tc,
+        sync=SyncSettings(
+            enabled=config.sync_enabled,
+            max_batch=config.sync_max_batch,
+            fanout=config.sync_fanout,
+        ),
     )
     costs = cost_profile(config.cost_profile)
     sizes = SizeModel()
@@ -149,6 +164,9 @@ def build_cluster(config: Configuration) -> Cluster:
             size_model=sizes,
             metrics=metrics if node_id == observer_id else None,
         )
+        # Sync metrics come from every replica (the interesting syncers —
+        # recovered or partition-healed nodes — are rarely the observer).
+        replica.sync.metrics = metrics
         replicas[node_id] = replica
 
     client_cls = CLIENTS.get(config.resolved_client())

@@ -1,0 +1,128 @@
+"""Message dispatch: the extension point for replica message handlers.
+
+The replica's :meth:`~repro.core.replica.Replica.deliver` entry point used to
+be a hard-coded ``if isinstance(...)`` chain, which meant a new message kind
+(such as the sync subsystem's ``BlockRequest`` / ``BlockResponse``) required
+editing the replica itself.  Dispatch is now a :class:`~repro.plugins.Registry`
+keyed by the message *class name*: each entry pairs a handler with a CPU-cost
+function, and the replica charges the cost to its FIFO CPU server before
+invoking the handler — exactly the treatment the four built-in message kinds
+receive.
+
+Registering a handler for a new message type::
+
+    @register_message_handler("HeartbeatMessage")
+    def _handle_heartbeat(replica, message):
+        replica.note_heartbeat(message)
+
+Handlers receive ``(replica, message)`` and must look up replica behaviour
+through the instance (``replica._process_proposal(...)``), so Byzantine
+subclasses and :func:`~repro.core.byzantine.convert_replica` keep working: the
+method resolution happens on the live object, not at registration time.
+
+An optional ``cost`` callable ``(replica, message) -> seconds`` overrides the
+default CPU charge (:meth:`Replica._processing_cost`, which models signature
+and per-transaction verification work).  Messages with no registered handler
+are silently ignored, preserving the old behaviour for e.g. ``ClientReply``
+copies that reach a replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.plugins import Registry
+from repro.types.messages import Message
+
+#: Handler signature: (replica, message) -> None.
+HandlerFn = Callable[["Replica", Message], None]  # noqa: F821 - documented type
+#: Cost signature: (replica, message) -> CPU seconds to charge before handling.
+CostFn = Callable[["Replica", Message], float]  # noqa: F821
+
+
+@dataclass(frozen=True)
+class MessageHandler:
+    """A registered handler plus the CPU cost charged before it runs."""
+
+    handle: HandlerFn
+    cost: Optional[CostFn] = None
+
+    def cost_for(self, replica, message: Message) -> float:
+        """CPU service time for ``message`` (falls back to the replica default)."""
+        if self.cost is not None:
+            return self.cost(replica, message)
+        return replica._processing_cost(message)
+
+
+#: The message-handler extension point, keyed by message class name.
+MESSAGE_HANDLERS: Registry[MessageHandler] = Registry("message handler")
+
+
+def register_message_handler(
+    message_type: str,
+    *aliases: str,
+    cost: Optional[CostFn] = None,
+    override: bool = False,
+) -> Callable[[HandlerFn], HandlerFn]:
+    """Decorator registering a handler for messages of class ``message_type``.
+
+    ``message_type`` is the message class's ``__name__`` (dispatch never
+    imports the class, so plugin message types need no central declaration).
+    """
+
+    def decorator(fn: HandlerFn) -> HandlerFn:
+        MESSAGE_HANDLERS.add(message_type, MessageHandler(handle=fn, cost=cost), *aliases,
+                             override=override)
+        return fn
+
+    return decorator
+
+
+def available_message_handlers() -> List[str]:
+    """Canonical message type names with a registered handler."""
+    # The sync handlers register at import time of repro.sync; make sure a
+    # bare listing (e.g. api.available()) sees them without requiring the
+    # caller to have built a replica first.
+    import repro.sync  # noqa: F401  (registers BlockRequest/BlockResponse)
+
+    return MESSAGE_HANDLERS.available()
+
+
+def dispatch(replica, message: Message) -> bool:
+    """Charge CPU and run the registered handler for ``message``.
+
+    Returns True if a handler was found; unknown message kinds are ignored
+    (they are not addressed to replicas).
+    """
+    kind = type(message).__name__
+    if kind not in MESSAGE_HANDLERS:
+        return False
+    entry = MESSAGE_HANDLERS.get(kind)
+    replica.cpu.submit(
+        entry.cost_for(replica, message), lambda: entry.handle(replica, message)
+    )
+    return True
+
+
+# ----------------------------------------------------------------------
+# built-in handlers: the four message kinds of the consensus round
+# ----------------------------------------------------------------------
+@register_message_handler("ClientRequest")
+def _handle_client_request(replica, message: Message) -> None:
+    replica._process_client_request(message)
+
+
+@register_message_handler("ProposalMessage")
+def _handle_proposal(replica, message: Message) -> None:
+    replica._process_proposal(message)
+
+
+@register_message_handler("VoteMessage")
+def _handle_vote(replica, message: Message) -> None:
+    replica._process_vote(message)
+
+
+@register_message_handler("TimeoutMessage")
+def _handle_timeout(replica, message: Message) -> None:
+    replica._process_timeout(message)

@@ -10,7 +10,14 @@ modelled as a FIFO server.  It reacts to messages delivered by the network:
 * votes are aggregated into quorum certificates, which update the protocol
   state, may satisfy the commit rule, and advance the view;
 * timeout messages feed the pacemaker, which forms timeout certificates and
-  advances the view when a quorum of replicas is stuck.
+  advances the view when a quorum of replicas is stuck;
+* block requests and responses feed the sync manager (:mod:`repro.sync`),
+  which fetches chains the replica missed while crashed or partitioned.
+
+Message dispatch goes through the handler registry in
+:mod:`repro.core.dispatch`: each registered message kind carries a CPU-cost
+function and a handler, so new subsystems (sync being the built-in example)
+plug in without editing this event loop.
 
 Whenever the replica enters a view it leads, it batches transactions from
 its mempool and broadcasts a proposal.  Byzantine behaviours (paper §IV-A)
@@ -20,9 +27,10 @@ Bamboo implements them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.dispatch import dispatch
 from repro.crypto.costs import CryptoCostModel
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import sign
@@ -37,6 +45,7 @@ from repro.protocols.safety import ProposalPlan
 from repro.quorum.quorum import QuorumTracker, TimeoutTracker
 from repro.sim.events import EventScheduler
 from repro.sim.resources import FifoServer
+from repro.sync.manager import SyncManager, SyncSettings
 from repro.types.block import Block, make_block
 from repro.types.certificates import (
     QuorumCertificate,
@@ -83,6 +92,10 @@ class ReplicaSettings:
     prune_forks:
         Whether abandoned branches are pruned (and their transactions
         recycled into the mempool) after each commit.
+    sync:
+        Block-fetch configuration (see :class:`repro.sync.SyncSettings`);
+        disable with ``sync=SyncSettings(enabled=False)`` to reproduce the
+        pre-sync behaviour where recovered replicas never catch up.
     """
 
     block_size: int = 400
@@ -90,6 +103,7 @@ class ReplicaSettings:
     view_timeout: float = 0.1
     propose_wait_after_tc: float = 0.0
     prune_forks: bool = True
+    sync: SyncSettings = field(default_factory=SyncSettings)
 
 
 @dataclass
@@ -151,8 +165,9 @@ class Replica:
         self.metrics = metrics
 
         self.keypair = registry.register(node_id)
-        self.forest = BlockForest()
+        self.forest = BlockForest(orphan_capacity=self.settings.sync.orphan_capacity)
         self.safety = make_safety(protocol, self.forest)
+        self.sync = SyncManager(self, self.settings.sync)
         self.mempool = Mempool(capacity=self.settings.mempool_capacity)
         self.kvstore = KeyValueStore()
         self.cpu = FifoServer(scheduler, name=f"{node_id}.cpu")
@@ -169,7 +184,6 @@ class Replica:
         self.stats = ReplicaStats()
 
         self._origin_clients: Dict[str, str] = {}
-        self._pending_blocks: Dict[str, List[Block]] = {}
         self._pending_qcs: Dict[str, QuorumCertificate] = {}
         self._replied_txids: set[str] = set()
         self._last_proposed_view = 0
@@ -193,24 +207,26 @@ class Replica:
         self.network.crash(self.node_id)
 
     def recover(self) -> None:
-        """Rejoin after a crash: reconnect and re-enter the current view.
+        """Rejoin after a crash: reconnect, re-enter the current view, sync.
 
         Protocol state (forest, mempool, high QC) is retained, modelling a
         process restart from durable storage; the pacemaker timer is re-armed
         and the replica rejoins view synchronization (its timeouts count
         toward TCs, and it advances on the QCs/TCs it observes).
 
-        There is no block-sync protocol yet, so blocks certified while the
-        replica was down are gone for good: later proposals extend parents it
-        never saw, park forever as pending, and the replica can no longer
-        vote or propose on the main chain.  It participates safely but
-        passively — see ROADMAP (state-sync/catch-up) for the missing piece.
+        The sync manager then starts a catch-up round: it fetches the blocks
+        certified while the replica was down from its peers, re-validates
+        their certificates, and drains any proposals that were parked on
+        missing parents — restoring *full* participation (voting and
+        leading), not just view synchronization.  With sync disabled the old
+        behaviour returns: later proposals park forever on missing parents.
         """
         if not self._crashed:
             return
         self._crashed = False
         self.network.recover(self.node_id)
         self.pacemaker.resume()
+        self.sync.on_recover()
 
     @property
     def current_view(self) -> int:
@@ -225,20 +241,15 @@ class Replica:
     # message entry point
     # ------------------------------------------------------------------
     def deliver(self, message: Message) -> None:
-        """Network delivery callback: charge CPU, then process."""
+        """Network delivery callback: dispatch via the handler registry.
+
+        The registry (:mod:`repro.core.dispatch`) charges each message kind's
+        CPU cost and invokes its handler; kinds with no registered handler
+        (e.g. client replies) are not addressed to replicas and are ignored.
+        """
         if self._crashed:
             return
-        cost = self._processing_cost(message)
-        if isinstance(message, ClientRequest):
-            self.cpu.submit(cost, lambda: self._process_client_request(message))
-        elif isinstance(message, ProposalMessage):
-            self.cpu.submit(cost, lambda: self._process_proposal(message))
-        elif isinstance(message, VoteMessage):
-            self.cpu.submit(cost, lambda: self._process_vote(message))
-        elif isinstance(message, TimeoutMessage):
-            self.cpu.submit(cost, lambda: self._process_timeout(message))
-        # Other message kinds (client replies) are not addressed to replicas
-        # and are silently ignored.
+        dispatch(self, message)
 
     def _processing_cost(self, message: Message) -> float:
         """CPU service time for validating an incoming message."""
@@ -299,11 +310,20 @@ class Replica:
             return
         self._maybe_echo_proposal(message)
         if block.parent_id is not None and block.parent_id not in self.forest:
-            self._pending_blocks.setdefault(block.parent_id, []).append(block)
+            # Park the proposal and let the sync manager fetch the gap.
+            self.sync.note_missing_parent(block)
             return
         self._accept_block(block)
 
-    def _accept_block(self, block: Block) -> None:
+    def _accept_block(self, block: Block, vote: bool = True) -> None:
+        """Insert a block, absorb its certificates, maybe vote, drain orphans.
+
+        ``vote=False`` is the sync-ingestion path: blocks fetched from peers
+        are historical, so the replica absorbs their certificates (advancing
+        its view and committing as the chain connects) without casting stale
+        votes; the orphaned *live* proposals drained afterwards are voted on
+        normally, which is what resumes participation after a catch-up.
+        """
         try:
             self.forest.add_block(block, added_at=self.scheduler.now)
         except ForestError:
@@ -317,9 +337,10 @@ class Replica:
         if pending_qc is not None:
             self.safety.update_qc(pending_qc)
             self._after_new_qc(pending_qc)
-        self._maybe_vote(block)
-        # Unblock any buffered children now that their parent is known.
-        for child in self._pending_blocks.pop(block.block_id, []):
+        if vote:
+            self._maybe_vote(block)
+        # Unblock any parked children now that their parent is known.
+        for child in self.forest.pop_orphans(block.block_id):
             if child.block_id not in self.forest:
                 self._accept_block(child)
 
@@ -379,6 +400,15 @@ class Replica:
             self._pending_qcs[qc.block_id] = qc
             if qc.view > self.safety.high_qc.view:
                 self.safety.high_qc = qc
+            # A quorum certified a block we never received: fetch it.
+            self.sync.note_missing_certified(qc)
+
+    def _note_synced_qc(self, qc: QuorumCertificate) -> None:
+        """Absorb a certificate learned through a sync response."""
+        if qc.block_id not in self.forest:
+            return
+        self.safety.update_qc(qc)
+        self._after_new_qc(qc)
 
     def _maybe_echo_vote(self, message: VoteMessage) -> None:
         if not self.safety.echo_messages:

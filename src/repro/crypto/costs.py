@@ -78,6 +78,22 @@ class CryptoCostModel:
         """CPU time to check an incoming timeout message."""
         return self.verify_time
 
+    def sync_request_cost(self) -> float:
+        """CPU time to parse a sync BlockRequest (no crypto, just lookups)."""
+        return self.block_overhead_time
+
+    def sync_response_build_cost(self, num_blocks: int) -> float:
+        """CPU time to serialize a sync BlockResponse batch."""
+        return self.block_overhead_time * max(1, num_blocks)
+
+    def sync_response_verify_cost(self, num_blocks: int, num_transactions: int) -> float:
+        """CPU time to re-validate a fetched chain: one QC check per block."""
+        return (
+            self.block_overhead_time
+            + num_blocks * self.qc_verify_time
+            + num_transactions * self.per_transaction_time
+        )
+
     def scaled(self, factor: float) -> "CryptoCostModel":
         """Return a copy with every cost multiplied by ``factor``.
 

@@ -4,13 +4,19 @@ The forest keeps every block a replica has seen, indexed by id and by height.
 It answers the structural questions the safety rules need (ancestry, chain
 extension, longest certified chain) and maintains the committed *main chain*
 used for consistency checks across replicas (paper §III-A).
+
+The forest also tracks *orphans*: proposals whose parent has not arrived,
+parked in a bounded FIFO buffer keyed by the missing parent id.  The sync
+subsystem (:mod:`repro.sync`) consults this buffer to decide what to fetch
+and the replica drains it as parents arrive — whether through ordinary
+delivery or a :class:`~repro.sync.messages.BlockResponse`.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.crypto.digest import digest_fields
 from repro.forest.vertex import Vertex
@@ -43,7 +49,7 @@ class ForkStats:
 class BlockForest:
     """Stores blocks, their certification state, and the committed chain."""
 
-    def __init__(self) -> None:
+    def __init__(self, orphan_capacity: int = 256) -> None:
         genesis, genesis_qc = make_genesis()
         self.genesis = genesis
         self._vertices: Dict[str, Vertex] = {}
@@ -52,12 +58,19 @@ class BlockForest:
         self._pruned_height = -1
         self.stats = ForkStats()
 
+        #: Parked blocks whose parent is missing: parent id -> blocks, plus a
+        #: FIFO of (block id, parent id) pairs for O(1) bounded eviction.
+        self.orphan_capacity = orphan_capacity
+        self._orphans: Dict[str, List[Block]] = {}
+        self._orphan_order: Deque[Tuple[str, str]] = deque()
+
         root = Vertex(block=genesis, qc=genesis_qc)
         root.committed = True
         root.committed_at_view = 0
         self._vertices[genesis.block_id] = root
         self._by_height[0].append(genesis.block_id)
         self._committed_chain.append(genesis.block_id)
+        self._highest_certified_id = genesis.block_id
 
     # ------------------------------------------------------------------
     # insertion and certification
@@ -99,7 +112,58 @@ class BlockForest:
             return None
         if vertex.qc is None or qc.view > vertex.qc.view:
             vertex.qc = qc
+        if vertex.view > self._vertices[self._highest_certified_id].view:
+            self._highest_certified_id = vertex.block_id
         return vertex
+
+    # ------------------------------------------------------------------
+    # orphan tracking (blocks waiting for a missing parent)
+    # ------------------------------------------------------------------
+    def add_orphan(self, block: Block) -> tuple:
+        """Park ``block`` until its parent arrives; bounded FIFO eviction.
+
+        Returns ``(added, evicted)``: ``added`` is False for blocks already
+        in the forest or already parked (duplicates and echoes are no-ops);
+        ``evicted`` is the oldest parked block dropped to stay within
+        ``orphan_capacity``, or ``None``.
+        """
+        if block.parent_id is None or block.block_id in self._vertices:
+            return (False, None)
+        bucket = self._orphans.setdefault(block.parent_id, [])
+        if any(b.block_id == block.block_id for b in bucket):
+            return (False, None)
+        bucket.append(block)
+        self._orphan_order.append((block.block_id, block.parent_id))
+        evicted = None
+        if len(self._orphan_order) > self.orphan_capacity:
+            oldest_id, oldest_parent = self._orphan_order.popleft()
+            parked = self._orphans.get(oldest_parent, [])
+            for parked_block in parked:
+                if parked_block.block_id == oldest_id:
+                    evicted = parked_block
+                    parked.remove(parked_block)
+                    break
+            if not parked:
+                self._orphans.pop(oldest_parent, None)
+        return (True, evicted)
+
+    def pop_orphans(self, parent_id: str) -> List[Block]:
+        """Remove and return the blocks parked under ``parent_id``."""
+        parked = self._orphans.pop(parent_id, [])
+        if parked:
+            self._orphan_order = deque(
+                pair for pair in self._orphan_order if pair[1] != parent_id
+            )
+        return parked
+
+    def orphan_parents(self) -> List[str]:
+        """Missing parent ids that have blocks waiting on them."""
+        return list(self._orphans)
+
+    @property
+    def orphan_count(self) -> int:
+        """Number of blocks currently parked."""
+        return len(self._orphan_order)
 
     # ------------------------------------------------------------------
     # lookups
@@ -180,12 +244,22 @@ class BlockForest:
     # certified chains
     # ------------------------------------------------------------------
     def highest_certified(self) -> Vertex:
-        """The certified vertex with the highest view (genesis if none)."""
+        """The certified vertex with the highest view (genesis if none).
+
+        Tracked incrementally by :meth:`record_qc` (and repaired by
+        :meth:`prune`), so the lookup is O(1).  It is the anchor every sync
+        request advertises, which makes it per-missing-parent-event rather
+        than per-message — cheap to call however often sync needs it.
+        """
+        return self._vertices[self._highest_certified_id]
+
+    def _rescan_highest_certified(self) -> None:
+        """Repair the highest-certified cache by scanning (after pruning)."""
         best = self._vertices[self.genesis.block_id]
         for vertex in self._vertices.values():
             if vertex.certified and vertex.view > best.view:
                 best = vertex
-        return best
+        self._highest_certified_id = best.block_id
 
     def longest_certified_tip(self) -> Vertex:
         """Tip of the longest chain of certified blocks (Streamlet's rule).
@@ -234,6 +308,21 @@ class BlockForest:
     def last_committed(self) -> Vertex:
         """The most recently committed vertex."""
         return self._vertices[self._committed_chain[-1]]
+
+    def committed_blocks_between(
+        self, low_height: int, high_height: int, limit: int
+    ) -> List[Block]:
+        """Main-chain blocks with ``low_height < height <= high_height``.
+
+        Oldest first, at most ``limit`` blocks.  The committed chain is
+        contiguous from genesis (every commit extends the last committed
+        block), so list index equals height and the lookup is O(limit) —
+        this is what lets a sync responder serve an arbitrarily deep
+        catch-up request without walking its whole forest.
+        """
+        start = max(low_height + 1, 0)
+        end = min(high_height, self.committed_height, start + limit - 1)
+        return [self._vertices[b].block for b in self._committed_chain[start : end + 1]]
 
     def commit(self, block_id: str, at_view: int) -> List[Vertex]:
         """Commit ``block_id`` and every uncommitted ancestor.
@@ -297,6 +386,9 @@ class BlockForest:
             self.stats.blocks_forked += 1
             self.stats.transactions_forked += vertex.block.num_transactions
         self._pruned_height = max(self._pruned_height, height)
+        if self._highest_certified_id not in self._vertices:
+            # The cached highest-certified vertex was on a pruned fork.
+            self._rescan_highest_certified()
         return removed
 
     def consistency_hash(self, height: Optional[int] = None) -> str:

@@ -30,9 +30,12 @@ leader election      ``ELECTIONS``                  ``repro.election.election``
 network delays       ``DELAY_MODELS``               ``repro.network.delays``
 client workloads     ``CLIENTS``                    ``repro.client.client``
 scenario events      ``SCENARIO_EVENTS``            ``repro.scenario.events``
+message handlers     ``MESSAGE_HANDLERS``           ``repro.core.dispatch``
 ===================  =============================  ==========================
 
-``repro.api`` re-exports one ``register_*`` helper per registry.
+``repro.api`` re-exports one ``register_*`` helper per registry, and
+``api.available()`` lists every registry's contents under the same keys;
+``docs/EXTENDING.md`` is the guided tour.
 """
 
 from __future__ import annotations

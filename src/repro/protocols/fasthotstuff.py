@@ -11,7 +11,9 @@ high as their lock *or* the proposal extends their lock.
 
 The protocol is included because the paper lists it among the protocols
 built with Bamboo; it is exercised by the extension tests and the ablation
-benchmarks rather than by the headline figures.
+benchmarks rather than by the headline figures.  Like its siblings it relies
+on the shared missing-parent path: gaps are routed to the sync manager
+(:mod:`repro.sync`) and the lock is re-derived from fetched certificates.
 """
 
 from __future__ import annotations

@@ -17,6 +17,11 @@ Rules:
   blocks with direct parent links and **consecutive views** — the classic
   chained-HotStuff decide rule, which is what makes B1 in the paper's Fig. 6
   wait until view 8 after a silence attack.
+
+Catch-up (:mod:`repro.sync`) needs no HotStuff-specific handling: fetched
+blocks are inserted oldest-first, each embedded QC re-runs the state-updating
+rule, and the two-chain lock is re-derived as the recovered history replays —
+after which the voting rule accepts live proposals again.
 """
 
 from __future__ import annotations

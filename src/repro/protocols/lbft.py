@@ -12,6 +12,12 @@ by the headline figures.
 
 The class name reflects what the protocol actually is — leader proposals
 with broadcast votes — to avoid overstating fidelity to [12].
+
+Broadcast votes give this protocol a second sync trigger: every replica
+aggregates QCs itself, so a QC can form locally for a block that never
+arrived.  The replica routes that case to the sync manager
+(:mod:`repro.sync`) too (``note_missing_certified``), which fetches the
+certified block and its ancestry.
 """
 
 from __future__ import annotations

@@ -16,6 +16,14 @@ The class also exposes protocol metadata (whether votes are broadcast,
 whether messages are echoed, whether the protocol is optimistically
 responsive, the depth of its commit rule) that the replica and the analytical
 model consume.
+
+None of the four rules assume gap-free delivery: a proposal whose parent is
+missing never reaches the Safety module (the replica parks it and routes the
+gap to the sync manager, :mod:`repro.sync`).  When fetched blocks are
+inserted oldest-first, their certificates flow through the ordinary
+state-updating rule — ``update_qc`` re-derives ``hQC`` and each protocol's
+lock from the recovered history — so a protocol implementation needs no
+sync-specific code to survive a crash/recover or partition-heal scenario.
 """
 
 from __future__ import annotations

@@ -17,6 +17,13 @@ replicas never vote for a proposal that abandons the longest notarized chain.
 The original protocol advances views with a synchronized 2Δ clock; as in the
 paper, the shared pacemaker replaces that clock so the comparison with the
 HotStuff variants is fair.
+
+Streamlet is the protocol most sensitive to gaps: its voting rule compares
+the proposal's parent against the longest *notarized* chain, so a replica
+missing a chain segment votes for nothing at all.  Catch-up
+(:mod:`repro.sync`) re-notarizes the fetched segment via the recorded
+certificates, restoring the longest-chain computation — no Streamlet-specific
+sync code is needed.
 """
 
 from __future__ import annotations

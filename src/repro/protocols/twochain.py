@@ -7,6 +7,10 @@ costs optimistic responsiveness: after a view change a correct leader must
 wait for the maximal network delay to be sure it has heard of the highest
 lock, otherwise honest replicas may refuse to vote (this is exactly the
 behaviour the responsiveness experiment of §VI-D exposes).
+
+Catch-up (:mod:`repro.sync`) replays fetched certificates through
+``update_qc``, so the one-chain lock lands on the recovered chain's tip and
+a recovered replica's voting rule immediately accepts live proposals.
 """
 
 from __future__ import annotations

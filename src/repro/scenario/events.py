@@ -121,9 +121,12 @@ class CrashReplica(ScenarioEvent):
 class RecoverReplica(ScenarioEvent):
     """Recover a crashed replica; it rejoins with its pre-crash state.
 
-    The replica rejoins view synchronization (timeouts, TCs) but — absent a
-    block-sync protocol — cannot vote on chains extending blocks certified
-    while it was down; see :meth:`repro.core.replica.Replica.recover`.
+    The replica rejoins view synchronization (timeouts, TCs) and its sync
+    manager fetches the blocks certified while it was down from peers
+    (:mod:`repro.sync`), so recovery restores *full* participation: the
+    replica votes on — and can lead — chains extending blocks it missed.
+    See :meth:`repro.core.replica.Replica.recover`, and ``docs/SCENARIOS.md``
+    for a runnable crash → recover → catch-up schedule.
     """
 
     replica: str = "last"

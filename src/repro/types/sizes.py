@@ -57,3 +57,26 @@ class SizeModel:
     def client_request_size(self, payload_size: int) -> int:
         """Serialized size of a client request."""
         return self.client_request_overhead + payload_size
+
+    def block_request_size(self) -> int:
+        """Serialized size of a sync BlockRequest (two hashes + a height)."""
+        return 2 * self.hash_size + self.view_number_size
+
+    def block_response_size(self, blocks, tip_qc_signers: int = 0) -> int:
+        """Serialized size of a sync BlockResponse batch.
+
+        Each block travels with its embedded certificate (as in a proposal);
+        the tip's own certificate rides along so the requester can certify
+        the newest block without waiting for a later proposal.
+        """
+        return (
+            self.block_header_size
+            + self.qc_size(tip_qc_signers)
+            + sum(
+                self.block_size_for(
+                    block.transactions,
+                    len(block.qc.signers) if block.qc is not None else 0,
+                )
+                for block in blocks
+            )
+        )
