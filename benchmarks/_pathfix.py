@@ -1,0 +1,19 @@
+"""Path shim: make benchmark modules runnable from any working directory.
+
+``python benchmarks/bench_fig9_block_sizes.py`` puts ``benchmarks/`` on
+``sys.path`` (so ``import _pathfix`` and ``from common import ...`` always
+resolve) but not ``src/`` — historically the scripts only worked with
+``PYTHONPATH=src`` exported.  Importing this module first fixes that: it
+prepends the repository's ``src/`` (and ``benchmarks/`` itself, for pytest
+runs rooted elsewhere) so every invocation style works from the repo root,
+from inside ``benchmarks/``, or from anywhere else.
+"""
+
+import sys
+from pathlib import Path
+
+_BENCHMARKS_DIR = Path(__file__).resolve().parent
+
+for _entry in (str(_BENCHMARKS_DIR), str(_BENCHMARKS_DIR.parent / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)

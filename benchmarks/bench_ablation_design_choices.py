@@ -14,12 +14,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bench.config import Configuration
-from repro.bench.runner import run_experiment
+import _pathfix  # noqa: F401
 
-from common import bench_scale, report
+from repro import api
 
-BASE_CONFIG = Configuration(
+from common import bench_scale, campaign_records, report
+
+BASE_CONFIG = api.Configuration(
     num_nodes=4,
     block_size=400,
     payload_size=0,
@@ -34,44 +35,51 @@ BASE_CONFIG = Configuration(
     seed=43,
 )
 
+#: (arm label, config overrides) — each arm is one run over BASE_CONFIG.
+ARMS = [
+    ("commit-depth-3 (hotstuff)", {"protocol": "hotstuff"}),
+    ("commit-depth-2 (2chainhs)", {"protocol": "2chainhs"}),
+    ("votes-unicast (2chainhs)", {"protocol": "2chainhs"}),
+    ("votes-broadcast (lbft)", {"protocol": "lbft"}),
+    ("votes-broadcast+echo (streamlet)", {"protocol": "streamlet"}),
+    ("election-round-robin", {"protocol": "hotstuff", "election": "round-robin"}),
+    ("election-hash", {"protocol": "hotstuff", "election": "hash"}),
+    (
+        "silent-leader timeout 50ms",
+        {"protocol": "hotstuff", "byzantine_nodes": 1, "strategy": "silence",
+         "view_timeout": 0.05, "election": "hash", "request_timeout": 1.0},
+    ),
+    (
+        "silent-leader timeout 200ms",
+        {"protocol": "hotstuff", "byzantine_nodes": 1, "strategy": "silence",
+         "view_timeout": 0.2, "election": "hash", "request_timeout": 1.0},
+    ),
+]
+
+
+def spec(scale: str = "ci") -> api.ExperimentSpec:
+    """One point per ablation arm (the CI scale drops the redundant arms)."""
+    arms = ARMS
+    if scale != "full":
+        arms = arms[:2] + arms[3:5] + arms[7:]
+    points = [{"_arm": label, **overrides} for label, overrides in arms]
+    return api.ExperimentSpec(
+        name="ablation_design_choices", base=BASE_CONFIG, points=points
+    )
+
 
 def run(scale: str = "ci") -> List[Dict]:
     """Run one experiment per ablation arm."""
-    arms = [
-        ("commit-depth-3 (hotstuff)", BASE_CONFIG.replace(protocol="hotstuff")),
-        ("commit-depth-2 (2chainhs)", BASE_CONFIG.replace(protocol="2chainhs")),
-        ("votes-unicast (2chainhs)", BASE_CONFIG.replace(protocol="2chainhs")),
-        ("votes-broadcast (lbft)", BASE_CONFIG.replace(protocol="lbft")),
-        ("votes-broadcast+echo (streamlet)", BASE_CONFIG.replace(protocol="streamlet")),
-        ("election-round-robin", BASE_CONFIG.replace(protocol="hotstuff", election="round-robin")),
-        ("election-hash", BASE_CONFIG.replace(protocol="hotstuff", election="hash")),
-        (
-            "silent-leader timeout 50ms",
-            BASE_CONFIG.replace(
-                protocol="hotstuff", byzantine_nodes=1, strategy="silence",
-                view_timeout=0.05, election="hash", request_timeout=1.0,
-            ),
-        ),
-        (
-            "silent-leader timeout 200ms",
-            BASE_CONFIG.replace(
-                protocol="hotstuff", byzantine_nodes=1, strategy="silence",
-                view_timeout=0.2, election="hash", request_timeout=1.0,
-            ),
-        ),
-    ]
-    if scale != "full":
-        arms = arms[:2] + arms[3:5] + arms[7:]
     rows = []
-    for label, config in arms:
-        result = run_experiment(config)
+    for record in campaign_records(spec(scale)):
+        metrics = record["metrics"]
         rows.append(
             {
-                "arm": label,
-                "throughput_tps": result.metrics.throughput_tps,
-                "latency_ms": result.metrics.mean_latency * 1e3,
-                "block_interval": result.metrics.block_interval,
-                "cgr": result.metrics.chain_growth_rate,
+                "arm": record["params"]["_arm"],
+                "throughput_tps": metrics["throughput_tps"],
+                "latency_ms": metrics["mean_latency"] * 1e3,
+                "block_interval": metrics["block_interval"],
+                "cgr": metrics["chain_growth_rate"],
             }
         )
     return rows

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bench.config import Configuration
-from repro.bench.sweeps import saturation_sweep, saturation_throughput
+import _pathfix  # noqa: F401
 
-from common import bench_scale, report
+from repro import api
 
-BASE_CONFIG = Configuration(
+from common import bench_scale, campaign_records, report
+
+BASE_CONFIG = api.Configuration(
     num_nodes=4,
     block_size=400,
     num_clients=2,
@@ -36,23 +37,36 @@ CI_LEVELS = [50, 200, 800]
 FULL_LEVELS = [25, 50, 100, 200, 400, 800, 1600]
 
 
-def run(scale: str = "ci") -> List[Dict]:
-    """Sweep concurrency for every protocol / payload size pair."""
+def spec(scale: str = "ci") -> api.ExperimentSpec:
+    """Every (protocol, payload, concurrency) point as one campaign."""
     payloads = FULL_PAYLOADS if scale == "full" else CI_PAYLOADS
     levels = FULL_LEVELS if scale == "full" else CI_LEVELS
+    points = [
+        {
+            "_series": f"{label}-p{payload}",
+            "protocol": protocol,
+            "payload_size": payload,
+            "concurrency": int(level),
+        }
+        for label, protocol in PROTOCOLS
+        for payload in payloads
+        for level in levels
+    ]
+    return api.ExperimentSpec(name="fig10_payload_sizes", base=BASE_CONFIG, points=points)
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Sweep concurrency for every protocol / payload size pair."""
     rows = []
-    for label, protocol in PROTOCOLS:
-        for payload in payloads:
-            config = BASE_CONFIG.replace(protocol=protocol, payload_size=payload)
-            for point in saturation_sweep(config, concurrency_levels=levels):
-                rows.append(
-                    {
-                        "series": f"{label}-p{payload}",
-                        "concurrency": int(point.load),
-                        "throughput_tps": point.throughput_tps,
-                        "latency_ms": point.latency_ms,
-                    }
-                )
+    for record in campaign_records(spec(scale)):
+        rows.append(
+            {
+                "series": record["params"]["_series"],
+                "concurrency": record["config"]["concurrency"],
+                "throughput_tps": record["metrics"]["throughput_tps"],
+                "latency_ms": record["metrics"]["mean_latency"] * 1e3,
+            }
+        )
     return rows
 
 

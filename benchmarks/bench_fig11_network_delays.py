@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bench.config import Configuration
-from repro.bench.sweeps import saturation_sweep
+import _pathfix  # noqa: F401
 
-from common import bench_scale, report
+from repro import api
 
-BASE_CONFIG = Configuration(
+from common import bench_scale, campaign_records, report
+
+BASE_CONFIG = api.Configuration(
     num_nodes=4,
     block_size=400,
     payload_size=128,
@@ -39,25 +40,37 @@ CI_LEVELS = [50, 400]
 FULL_LEVELS = [25, 50, 100, 200, 400, 800]
 
 
-def run(scale: str = "ci") -> List[Dict]:
-    """Sweep concurrency for every protocol / added delay pair."""
+def spec(scale: str = "ci") -> api.ExperimentSpec:
+    """Every (protocol, added delay, concurrency) point as one campaign."""
     delays = FULL_DELAYS if scale == "full" else CI_DELAYS
     levels = FULL_LEVELS if scale == "full" else CI_LEVELS
+    points = [
+        {
+            "_series": f"{label}-{delay_label}",
+            "protocol": protocol,
+            "extra_delay_mean": mean,
+            "extra_delay_stddev": stddev,
+            "concurrency": int(level),
+        }
+        for label, protocol in PROTOCOLS
+        for delay_label, mean, stddev in delays
+        for level in levels
+    ]
+    return api.ExperimentSpec(name="fig11_network_delays", base=BASE_CONFIG, points=points)
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Sweep concurrency for every protocol / added delay pair."""
     rows = []
-    for label, protocol in PROTOCOLS:
-        for delay_label, mean, stddev in delays:
-            config = BASE_CONFIG.replace(
-                protocol=protocol, extra_delay_mean=mean, extra_delay_stddev=stddev
-            )
-            for point in saturation_sweep(config, concurrency_levels=levels):
-                rows.append(
-                    {
-                        "series": f"{label}-{delay_label}",
-                        "concurrency": int(point.load),
-                        "throughput_tps": point.throughput_tps,
-                        "latency_ms": point.latency_ms,
-                    }
-                )
+    for record in campaign_records(spec(scale)):
+        rows.append(
+            {
+                "series": record["params"]["_series"],
+                "concurrency": record["config"]["concurrency"],
+                "throughput_tps": record["metrics"]["throughput_tps"],
+                "latency_ms": record["metrics"]["mean_latency"] * 1e3,
+            }
+        )
     return rows
 
 

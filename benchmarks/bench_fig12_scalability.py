@@ -15,12 +15,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bench.config import Configuration
-from repro.bench.runner import run_experiment
+import _pathfix  # noqa: F401
 
-from common import bench_scale, report
+from repro import api
 
-BASE_CONFIG = Configuration(
+from common import bench_scale, campaign_records, report
+
+BASE_CONFIG = api.Configuration(
     block_size=400,
     payload_size=128,
     num_clients=2,
@@ -39,22 +40,29 @@ CI_SIZES = {"HS": [4, 16], "2CHS": [4, 16], "SL": [4, 8]}
 FULL_SIZES = {"HS": [4, 8, 16, 32, 64], "2CHS": [4, 8, 16, 32, 64], "SL": [4, 8, 16, 32]}
 
 
+def spec(scale: str = "ci") -> api.ExperimentSpec:
+    """One point per protocol and cluster size (irregular: SL is capped)."""
+    sizes = FULL_SIZES if scale == "full" else CI_SIZES
+    points = [
+        {"_label": label, "protocol": protocol, "num_nodes": num_nodes}
+        for label, protocol in PROTOCOLS
+        for num_nodes in sizes[label]
+    ]
+    return api.ExperimentSpec(name="fig12_scalability", base=BASE_CONFIG, points=points)
+
+
 def run(scale: str = "ci") -> List[Dict]:
     """Measure saturated throughput/latency per protocol and cluster size."""
-    sizes = FULL_SIZES if scale == "full" else CI_SIZES
     rows = []
-    for label, protocol in PROTOCOLS:
-        for num_nodes in sizes[label]:
-            config = BASE_CONFIG.replace(protocol=protocol, num_nodes=num_nodes)
-            result = run_experiment(config)
-            rows.append(
-                {
-                    "protocol": label,
-                    "nodes": num_nodes,
-                    "throughput_tps": result.metrics.throughput_tps,
-                    "latency_ms": result.metrics.mean_latency * 1e3,
-                }
-            )
+    for record in campaign_records(spec(scale)):
+        rows.append(
+            {
+                "protocol": record["params"]["_label"],
+                "nodes": record["config"]["num_nodes"],
+                "throughput_tps": record["metrics"]["throughput_tps"],
+                "latency_ms": record["metrics"]["mean_latency"] * 1e3,
+            }
+        )
     return rows
 
 

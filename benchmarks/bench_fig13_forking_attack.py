@@ -16,12 +16,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bench.config import Configuration
-from repro.bench.runner import run_experiment
+import _pathfix  # noqa: F401
 
-from common import bench_scale, report
+from repro import api
 
-BASE_CONFIG = Configuration(
+from common import bench_scale, campaign_records, report
+
+BASE_CONFIG = api.Configuration(
     strategy="forking",
     block_size=400,
     payload_size=128,
@@ -43,27 +44,36 @@ CI_SETUP = {"nodes": 16, "byz_counts": [0, 5], "sl_nodes": 8, "sl_byz": [0, 2]}
 FULL_SETUP = {"nodes": 32, "byz_counts": [0, 2, 4, 6, 8, 10], "sl_nodes": 32, "sl_byz": [0, 2, 4, 6, 8, 10]}
 
 
-def run(scale: str = "ci") -> List[Dict]:
-    """Measure the four metrics as the number of forking attackers grows."""
+def spec(scale: str = "ci") -> api.ExperimentSpec:
+    """One point per protocol and Byzantine count (SL uses its own sizes)."""
     setup = FULL_SETUP if scale == "full" else CI_SETUP
-    rows = []
+    points = []
     for label, protocol in PROTOCOLS:
         nodes = setup["sl_nodes"] if label == "SL" else setup["nodes"]
         byz_counts = setup["sl_byz"] if label == "SL" else setup["byz_counts"]
-        for byz in byz_counts:
-            config = BASE_CONFIG.replace(protocol=protocol, num_nodes=nodes, byzantine_nodes=byz)
-            result = run_experiment(config)
-            rows.append(
-                {
-                    "protocol": label,
-                    "nodes": nodes,
-                    "byzantine": byz,
-                    "throughput_tps": result.metrics.throughput_tps,
-                    "latency_ms": result.metrics.mean_latency * 1e3,
-                    "cgr": result.metrics.chain_growth_rate,
-                    "block_interval": result.metrics.block_interval,
-                }
-            )
+        points.extend(
+            {"_label": label, "protocol": protocol, "num_nodes": nodes, "byzantine_nodes": byz}
+            for byz in byz_counts
+        )
+    return api.ExperimentSpec(name="fig13_forking_attack", base=BASE_CONFIG, points=points)
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Measure the four metrics as the number of forking attackers grows."""
+    rows = []
+    for record in campaign_records(spec(scale)):
+        metrics = record["metrics"]
+        rows.append(
+            {
+                "protocol": record["params"]["_label"],
+                "nodes": record["config"]["num_nodes"],
+                "byzantine": record["config"]["byzantine_nodes"],
+                "throughput_tps": metrics["throughput_tps"],
+                "latency_ms": metrics["mean_latency"] * 1e3,
+                "cgr": metrics["chain_growth_rate"],
+                "block_interval": metrics["block_interval"],
+            }
+        )
     return rows
 
 

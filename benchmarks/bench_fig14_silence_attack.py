@@ -15,12 +15,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bench.config import Configuration
-from repro.bench.runner import run_experiment
+import _pathfix  # noqa: F401
 
-from common import bench_scale, report
+from repro import api
 
-BASE_CONFIG = Configuration(
+from common import bench_scale, campaign_records, report
+
+BASE_CONFIG = api.Configuration(
     strategy="silence",
     block_size=400,
     payload_size=128,
@@ -49,35 +50,47 @@ CI_SETUP = {"nodes": 16, "byz_counts": [0, 4], "sl_nodes": 4, "sl_byz": [0, 1]}
 FULL_SETUP = {"nodes": 32, "byz_counts": [0, 2, 4, 6, 8, 10], "sl_nodes": 32, "sl_byz": [0, 2, 4, 6, 8, 10]}
 
 
-def run(scale: str = "ci") -> List[Dict]:
-    """Measure the four metrics as the number of silent leaders grows."""
+def spec(scale: str = "ci") -> api.ExperimentSpec:
+    """One point per protocol and silent-leader count (SL gets its own timing)."""
     setup = FULL_SETUP if scale == "full" else CI_SETUP
-    rows = []
+    points = []
     for label, protocol in PROTOCOLS:
         nodes = setup["sl_nodes"] if label == "SL" else setup["nodes"]
         byz_counts = setup["sl_byz"] if label == "SL" else setup["byz_counts"]
         for byz in byz_counts:
-            config = BASE_CONFIG.replace(protocol=protocol, num_nodes=nodes, byzantine_nodes=byz)
+            point = {
+                "_label": label,
+                "protocol": protocol,
+                "num_nodes": nodes,
+                "byzantine_nodes": byz,
+            }
             if label == "SL":
                 # Streamlet's echoes make its happy-path view several times
                 # longer under the scaled cost profile; keep the timeout a
                 # small multiple of the view and measure a longer window so
                 # silent-leader stalls do not consume the whole run.
-                config = config.replace(
-                    view_timeout=STREAMLET_VIEW_TIMEOUT, runtime=STREAMLET_RUNTIME
-                )
-            result = run_experiment(config)
-            rows.append(
-                {
-                    "protocol": label,
-                    "nodes": nodes,
-                    "byzantine": byz,
-                    "throughput_tps": result.metrics.throughput_tps,
-                    "latency_ms": result.metrics.mean_latency * 1e3,
-                    "cgr": result.metrics.chain_growth_rate,
-                    "block_interval": result.metrics.block_interval,
-                }
-            )
+                point["view_timeout"] = STREAMLET_VIEW_TIMEOUT
+                point["runtime"] = STREAMLET_RUNTIME
+            points.append(point)
+    return api.ExperimentSpec(name="fig14_silence_attack", base=BASE_CONFIG, points=points)
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Measure the four metrics as the number of silent leaders grows."""
+    rows = []
+    for record in campaign_records(spec(scale)):
+        metrics = record["metrics"]
+        rows.append(
+            {
+                "protocol": record["params"]["_label"],
+                "nodes": record["config"]["num_nodes"],
+                "byzantine": record["config"]["byzantine_nodes"],
+                "throughput_tps": metrics["throughput_tps"],
+                "latency_ms": metrics["mean_latency"] * 1e3,
+                "cgr": metrics["chain_growth_rate"],
+                "block_interval": metrics["block_interval"],
+            }
+        )
     return rows
 
 

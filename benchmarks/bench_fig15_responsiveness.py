@@ -17,18 +17,21 @@ large-timeout setting keeps all protocols live but at lower throughput.
 The paper additionally observed that 2CHS and Streamlet never recovered in
 the small-timeout setting because replicas ended up locked on conflicting
 blocks; in this simulator messages are delayed but never lost, so those
-protocols do recover once delays normalize — EXPERIMENTS.md discusses the
-deviation.
+protocols do recover once delays normalize — docs/EXPERIMENTS.md discusses
+the deviation.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
+import _pathfix  # noqa: F401
+
 from repro import api
 from repro.bench.timeline import ResponsivenessScenario
+from repro.experiments import timeline_mean
 
-from common import bench_scale, report
+from common import bench_scale, campaign_records, report
 
 BASE_CONFIG = api.Configuration(
     num_nodes=4,
@@ -75,34 +78,51 @@ FULL_SCENARIO = ResponsivenessScenario(
 SETTINGS = [("t-small", 0.08, 0.0), ("t-large", 0.35, 0.35)]
 
 
+def _scenario(scale: str) -> ResponsivenessScenario:
+    return FULL_SCENARIO if scale == "full" else CI_SCENARIO
+
+
+def spec(scale: str = "ci") -> api.ExperimentSpec:
+    """Every (timeout setting, protocol) run under the shared fault schedule."""
+    scenario = _scenario(scale)
+    points = [
+        {
+            "_series": f"{label}-{setting}",
+            "protocol": protocol,
+            "view_timeout": timeout,
+            "propose_wait_after_tc": wait,
+        }
+        for setting, timeout, wait in SETTINGS
+        for label, protocol in PROTOCOLS
+    ]
+    return api.ExperimentSpec(
+        name="fig15_responsiveness",
+        base=BASE_CONFIG.replace(runtime=scenario.total_duration),
+        points=points,
+        scenario=scenario.to_scenario(),
+        bucket=scenario.bucket,
+    )
+
+
 def run(scale: str = "ci") -> List[Dict]:
     """Run the fluctuation + crash scenario for each protocol and timeout."""
-    scenario = FULL_SCENARIO if scale == "full" else CI_SCENARIO
+    scenario = _scenario(scale)
     rows = []
-    for setting, timeout, wait in SETTINGS:
-        for label, protocol in PROTOCOLS:
-            config = BASE_CONFIG.replace(
-                protocol=protocol,
-                view_timeout=timeout,
-                propose_wait_after_tc=wait,
-                runtime=scenario.total_duration,
-            )
-            result = api.run(
-                config, scenario=scenario.to_scenario(), bucket=scenario.bucket
-            )
-            rows.append(
-                {
-                    "series": f"{label}-{setting}",
-                    "before_tps": result.mean_throughput(0.0, scenario.fluctuation_start),
-                    "during_tps": result.mean_throughput(
-                        scenario.fluctuation_start, scenario.fluctuation_end
-                    ),
-                    "after_crash_tps": result.mean_throughput(
-                        scenario.crash_at, scenario.total_duration
-                    ),
-                    "consistent": result.consistent,
-                }
-            )
+    for record in campaign_records(spec(scale)):
+        timeline = record["timeline"]
+        rows.append(
+            {
+                "series": record["params"]["_series"],
+                "before_tps": timeline_mean(timeline, 0.0, scenario.fluctuation_start),
+                "during_tps": timeline_mean(
+                    timeline, scenario.fluctuation_start, scenario.fluctuation_end
+                ),
+                "after_crash_tps": timeline_mean(
+                    timeline, scenario.crash_at, scenario.total_duration
+                ),
+                "consistent": record["consistent"],
+            }
+        )
     return rows
 
 

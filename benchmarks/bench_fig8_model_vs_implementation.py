@@ -14,15 +14,16 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bench.config import Configuration
-from repro.bench.runner import run_experiment
+import _pathfix  # noqa: F401
+
+from repro import api
 from repro.model.predictions import AnalyticalModel, ModelParameters
 
-from common import bench_scale, report
+from common import bench_scale, campaign_records, report
 
 PROTOCOLS = ["hotstuff", "2chainhs", "streamlet"]
 
-BASE_CONFIG = Configuration(
+BASE_CONFIG = api.Configuration(
     num_nodes=4,
     block_size=400,
     payload_size=0,
@@ -42,11 +43,12 @@ CI_LOAD_FRACTIONS = [0.2, 0.5, 0.8]
 FULL_LOAD_FRACTIONS = [0.1, 0.3, 0.5, 0.7, 0.9]
 
 
-def run(scale: str = "ci") -> List[Dict]:
-    """Compare measured and predicted latency across configurations."""
+def spec(scale: str = "ci") -> api.ExperimentSpec:
+    """One point per (configuration, protocol, load fraction), with the
+    model's prediction at that rate carried along as a tag."""
     configs = FULL_CONFIGS if scale == "full" else CI_CONFIGS
     fractions = FULL_LOAD_FRACTIONS if scale == "full" else CI_LOAD_FRACTIONS
-    rows = []
+    points = []
     for num_nodes, block_size in configs:
         for protocol in PROTOCOLS:
             config = BASE_CONFIG.replace(
@@ -56,17 +58,37 @@ def run(scale: str = "ci") -> List[Dict]:
             saturation = model.saturation_rate()
             for fraction in fractions:
                 rate = fraction * saturation
-                result = run_experiment(config.replace(arrival_rate=rate))
-                rows.append(
+                points.append(
                     {
-                        "config": f"{num_nodes}/{block_size}",
+                        "_config": f"{num_nodes}/{block_size}",
+                        "_model_ms": model.latency(rate) * 1e3,
                         "protocol": protocol,
-                        "arrival_tps": rate,
-                        "measured_ms": result.metrics.mean_latency * 1e3,
-                        "model_ms": model.latency(rate) * 1e3,
-                        "measured_tput": result.metrics.throughput_tps,
+                        "num_nodes": num_nodes,
+                        "block_size": block_size,
+                        "arrival_rate": rate,
                     }
                 )
+    return api.ExperimentSpec(
+        name="fig8_model_vs_implementation", base=BASE_CONFIG, points=points
+    )
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Compare measured and predicted latency across configurations."""
+    rows = []
+    for record in campaign_records(spec(scale)):
+        params = record["params"]
+        metrics = record["metrics"]
+        rows.append(
+            {
+                "config": params["_config"],
+                "protocol": params["protocol"],
+                "arrival_tps": params["arrival_rate"],
+                "measured_ms": metrics["mean_latency"] * 1e3,
+                "model_ms": params["_model_ms"],
+                "measured_tput": metrics["throughput_tps"],
+            }
+        )
     return rows
 
 

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro import api
-from repro.bench.sweeps import saturation_throughput
+import _pathfix  # noqa: F401
 
-from common import bench_scale, report
+from repro import api
+
+from common import bench_scale, campaign_records, report
 
 BASE_CONFIG = api.Configuration(
     num_nodes=4,
@@ -44,29 +45,39 @@ SERIES = [
 ]
 
 
-def run(scale: str = "ci") -> List[Dict]:
-    """Sweep client concurrency for every protocol / block size pair."""
+def spec(scale: str = "ci") -> api.ExperimentSpec:
+    """Every (series, block size, concurrency) point as one campaign."""
     levels = FULL_LEVELS if scale == "full" else CI_LEVELS
     block_sizes = FULL_BLOCK_SIZES if scale == "full" else CI_BLOCK_SIZES
+    points = [
+        {
+            "_series": f"{label}-b{block_size}",
+            "protocol": protocol,
+            "cost_profile": profile,
+            "block_size": block_size,
+            "concurrency": int(level),
+        }
+        for label, protocol, profile in SERIES
+        for block_size in block_sizes
+        # The paper could not obtain meaningful OHS results at 400.
+        if not (label == "OHS" and block_size == 400)
+        for level in levels
+    ]
+    return api.ExperimentSpec(name="fig9_block_sizes", base=BASE_CONFIG, points=points)
+
+
+def run(scale: str = "ci") -> List[Dict]:
+    """Sweep client concurrency for every protocol / block size pair."""
     rows = []
-    for label, protocol, profile in SERIES:
-        for block_size in block_sizes:
-            if label == "OHS" and block_size == 400:
-                # The paper could not obtain meaningful OHS results at 400.
-                continue
-            config = BASE_CONFIG.replace(
-                protocol=protocol, block_size=block_size, cost_profile=profile
-            )
-            points = api.sweep(config, concurrency_levels=levels)
-            for point in points:
-                rows.append(
-                    {
-                        "series": f"{label}-b{block_size}",
-                        "concurrency": int(point.load),
-                        "throughput_tps": point.throughput_tps,
-                        "latency_ms": point.latency_ms,
-                    }
-                )
+    for record in campaign_records(spec(scale)):
+        rows.append(
+            {
+                "series": record["params"]["_series"],
+                "concurrency": record["config"]["concurrency"],
+                "throughput_tps": record["metrics"]["throughput_tps"],
+                "latency_ms": record["metrics"]["mean_latency"] * 1e3,
+            }
+        )
     return rows
 
 

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import _pathfix  # noqa: F401
+
 from repro import api
 
-from common import bench_scale, report
+from common import bench_scale, campaign_records, report
 
 BASE_CONFIG = api.Configuration(
     protocol="hotstuff",
@@ -34,18 +36,24 @@ CI_RATES = [500.0, 1000.0, 2000.0, 3000.0]
 FULL_RATES = [500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0, 3500.0]
 
 
+def spec(scale: str = "ci") -> api.ExperimentSpec:
+    """The whole Table II sweep as one declarative grid."""
+    rates = FULL_RATES if scale == "full" else CI_RATES
+    return api.grid(BASE_CONFIG, name="table2_arrival_vs_throughput", arrival_rate=rates)
+
+
 def run(scale: str = "ci") -> List[Dict]:
     """Sweep arrival rates and report observed throughput per rate."""
-    rates = FULL_RATES if scale == "full" else CI_RATES
     rows = []
-    for rate in rates:
-        result = api.run(BASE_CONFIG.replace(arrival_rate=rate))
+    for record in campaign_records(spec(scale)):
+        rate = record["params"]["arrival_rate"]
+        metrics = record["metrics"]
         rows.append(
             {
                 "arrival_rate_tps": rate,
-                "throughput_tps": result.metrics.throughput_tps,
-                "ratio": result.metrics.throughput_tps / rate,
-                "mean_latency_ms": result.metrics.mean_latency * 1e3,
+                "throughput_tps": metrics["throughput_tps"],
+                "ratio": metrics["throughput_tps"] / rate,
+                "mean_latency_ms": metrics["mean_latency"] * 1e3,
             }
         )
     return rows

@@ -3,12 +3,20 @@
 Every benchmark module regenerates one table or figure of the paper's
 evaluation section.  Each module exposes:
 
-* ``run(scale)`` — runs the experiment sweep and returns a list of result
-  rows (dicts);
+* a spec builder — the whole sweep declared as one
+  :class:`repro.experiments.ExperimentSpec` (base config + axes + tags);
+* ``run(scale)`` — runs the spec as a campaign (:func:`campaign_records`)
+  and formats the records into result rows (dicts);
 * a ``test_benchmark_*`` function that wires ``run`` into pytest-benchmark
   (one round — a "run" here is a whole simulation campaign, not a
   micro-benchmark);
-* ``main()`` — runs the sweep at full scale and prints the paper-style table.
+* ``main()`` — runs the campaign at full scale and prints the paper-style
+  table.
+
+Campaigns run serially by default; set ``REPRO_BENCH_WORKERS=N`` to fan the
+runs of each figure out over N worker processes (records are bit-identical
+either way), and ``REPRO_BENCH_STORE=dir`` to persist/resume them through a
+:class:`repro.experiments.ResultStore`.
 
 Scales
 ------
@@ -22,7 +30,8 @@ Scales
 
 Simulated vs. paper numbers: the simulator charges millisecond-scale CPU
 costs (see ``repro.bench.profiles``), so absolute Tx/s are a few thousand
-rather than the paper's tens of thousands; EXPERIMENTS.md compares shapes.
+rather than the paper's tens of thousands; ``docs/EXPERIMENTS.md`` compares
+shapes.
 """
 
 from __future__ import annotations
@@ -30,6 +39,11 @@ from __future__ import annotations
 import os
 from pathlib import Path
 from typing import Dict, Iterable, List
+
+import _pathfix  # noqa: F401  (src/ on sys.path regardless of CWD)
+
+from repro import api
+from repro.experiments.cli import format_table as render_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -40,15 +54,28 @@ def bench_scale() -> str:
     return "full" if scale == "full" else "ci"
 
 
+def bench_workers() -> int:
+    """Worker processes per campaign (REPRO_BENCH_WORKERS, default 1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def bench_store():
+    """The shared result store (REPRO_BENCH_STORE names a dir), or None."""
+    root = os.environ.get("REPRO_BENCH_STORE", "")
+    return api.ResultStore(root) if root else None
+
+
+def campaign_records(spec) -> List[Dict]:
+    """Run one figure's spec as a campaign and return its records in order."""
+    return api.campaign(spec, workers=bench_workers(), store=bench_store()).records
+
+
 def format_table(title: str, rows: List[Dict], columns: Iterable[str]) -> str:
-    """Render rows as a fixed-width text table."""
-    columns = list(columns)
-    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) if rows else len(c) for c in columns}
-    lines = [title, "-" * len(title)]
-    lines.append("  ".join(c.ljust(widths[c]) for c in columns))
-    for row in rows:
-        lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
-    return "\n".join(lines)
+    """Render rows as a fixed-width text table (title + the CLI renderer)."""
+    return "\n".join([title, "-" * len(title), render_table(rows, columns)])
 
 
 def report(name: str, title: str, rows: List[Dict], columns: Iterable[str]) -> str:
@@ -60,9 +87,3 @@ def report(name: str, title: str, rows: List[Dict], columns: Iterable[str]) -> s
     return table
 
 
-def _fmt(value) -> str:
-    if value is None:
-        return "-"
-    if isinstance(value, float):
-        return f"{value:.2f}"
-    return str(value)

@@ -4,3 +4,5 @@ import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+import _pathfix  # noqa: E402,F401  (also puts the repo's src/ on sys.path)

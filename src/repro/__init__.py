@@ -32,20 +32,30 @@ from repro.bench.runner import Cluster, ExperimentResult, build_cluster, run_exp
 from repro.bench.sweeps import SweepPoint, saturation_sweep
 from repro.bench.timeline import ResponsivenessScenario, run_responsiveness
 from repro.core.byzantine import ForkingReplica, SilentReplica
+from repro.experiments import (
+    CampaignResult,
+    CampaignRunner,
+    ExperimentSpec,
+    ResultStore,
+    run_campaign,
+)
 from repro.core.replica import Replica, ReplicaSettings
 from repro.model.predictions import AnalyticalModel, ModelParameters
 from repro.plugins import Registry, RegistryError
 from repro.protocols.registry import available_protocols, make_safety
 from repro.scenario import Scenario, ScenarioResult, ScenarioRunner, run_scenario
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalyticalModel",
+    "CampaignResult",
+    "CampaignRunner",
     "Cluster",
     "Configuration",
     "ConfigurationError",
     "ExperimentResult",
+    "ExperimentSpec",
     "ForkingReplica",
     "MetricsCollector",
     "ModelParameters",
@@ -54,6 +64,7 @@ __all__ = [
     "Replica",
     "ReplicaSettings",
     "ResponsivenessScenario",
+    "ResultStore",
     "RunMetrics",
     "Scenario",
     "ScenarioResult",
@@ -64,6 +75,7 @@ __all__ = [
     "available_protocols",
     "build_cluster",
     "make_safety",
+    "run_campaign",
     "run_experiment",
     "run_responsiveness",
     "run_scenario",

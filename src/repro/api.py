@@ -16,6 +16,12 @@ Everything a user script needs lives here::
     # sweep client load to a latency/throughput curve
     points = api.sweep(config, concurrency_levels=[8, 32, 128])
 
+    # declare a whole experiment grid and run it as a campaign — in
+    # parallel worker processes, resumable through a result store
+    spec = api.grid(config, protocol=["hotstuff", "2chainhs"],
+                    block_size=[100, 400])
+    result = api.campaign(spec, workers=4, store="results/")
+
     # extend the framework: every extension point is a register_* decorator
     @api.register_protocol("myproto")
     class MyProtocolSafety(Safety): ...
@@ -56,6 +62,12 @@ from repro.bench.config import Configuration, ConfigurationError
 from repro.bench.runner import Cluster, ExperimentResult, build_cluster, run_experiment
 from repro.bench.sweeps import SweepPoint, saturation_sweep
 from repro.client.client import available_clients, register_client
+from repro.experiments import (
+    CampaignResult,
+    CampaignRunner,
+    ExperimentSpec,
+    ResultStore,
+)
 from repro.core.byzantine import available_strategies, register_strategy
 from repro.core.dispatch import available_message_handlers, register_message_handler
 from repro.election.election import available_elections, register_election
@@ -70,15 +82,21 @@ from repro.scenario import (
 )
 
 __all__ = [
+    "CampaignResult",
+    "CampaignRunner",
     "Cluster",
     "Configuration",
     "ConfigurationError",
     "ExperimentResult",
+    "ExperimentSpec",
+    "ResultStore",
     "Scenario",
     "ScenarioResult",
     "SweepPoint",
     "available",
     "build",
+    "campaign",
+    "grid",
     "load_config",
     "register_client",
     "register_delay_model",
@@ -156,13 +174,83 @@ def sweep(
     config: ConfigLike,
     concurrency_levels: Optional[Sequence[int]] = None,
     arrival_rates: Optional[Sequence[float]] = None,
+    workers: int = 1,
+    store: Optional[Union[ResultStore, str, Path]] = None,
 ) -> List[SweepPoint]:
-    """Sweep client load and return one latency/throughput point per level."""
+    """Sweep client load and return one latency/throughput point per level.
+
+    ``workers`` and ``store`` are forwarded to the underlying campaign
+    (parallel execution and resume), like :func:`campaign`.
+    """
     return saturation_sweep(
         _coerce_config(config),
         concurrency_levels=concurrency_levels,
         arrival_rates=arrival_rates,
+        workers=workers,
+        store=store,
     )
+
+
+SpecLike = Union[ExperimentSpec, Dict, str, Path]
+
+
+def grid(
+    base: ConfigLike,
+    name: str = "grid",
+    scenario: ScenarioLike = None,
+    repetitions: int = 1,
+    seed_policy: str = "increment",
+    **axes: Sequence,
+) -> ExperimentSpec:
+    """Declare a Cartesian experiment grid over configuration fields.
+
+    Every keyword argument is one grid axis (a list of values for that
+    :class:`Configuration` field); the expansion is their cross product over
+    ``base``.  For zipped axes, explicit point lists, or tags, build an
+    :class:`ExperimentSpec` directly. ::
+
+        spec = api.grid(base, protocol=["hotstuff", "2chainhs"],
+                        block_size=[100, 400], repetitions=3)
+    """
+    for field, values in axes.items():
+        # A bare string would iterate per character into a nonsense grid.
+        if isinstance(values, str) or not isinstance(values, (list, tuple, range)):
+            raise TypeError(
+                f"grid axis {field!r} must be a list of values, got {values!r}"
+            )
+    return ExperimentSpec(
+        name=name,
+        base=_coerce_config(base),
+        grid={field: list(values) for field, values in axes.items()},
+        scenario=_coerce_scenario(scenario),
+        repetitions=repetitions,
+        seed_policy=seed_policy,
+    )
+
+
+def campaign(
+    spec: SpecLike,
+    workers: int = 1,
+    store: Optional[Union[ResultStore, str, Path]] = None,
+    force: bool = False,
+) -> CampaignResult:
+    """Run an experiment campaign: expand, execute, persist, resume.
+
+    ``spec`` may be an :class:`ExperimentSpec`, its dict form, or a path to
+    a JSON file.  ``workers > 1`` fans the pending runs out over that many
+    processes (records are bit-identical to a serial run, persisted as each completes); ``store`` names a
+    result-store directory — runs whose content hash is already stored are
+    served from it without executing (pass ``force=True`` to re-run).
+    """
+    if isinstance(spec, (str, Path)):
+        spec = ExperimentSpec.from_json(Path(spec).read_text())
+    elif isinstance(spec, dict):
+        spec = ExperimentSpec.from_dict(spec)
+    elif not isinstance(spec, ExperimentSpec):
+        raise TypeError(
+            f"expected ExperimentSpec, dict, or path, got {type(spec).__name__}"
+        )
+    return CampaignRunner(spec, workers=workers, store=store, force=force).run()
 
 
 def available(kind: Optional[str] = None) -> Union[Dict[str, List[str]], List[str]]:

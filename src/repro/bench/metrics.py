@@ -28,11 +28,24 @@ traffic the fault scenarios are about.
 
 from __future__ import annotations
 
+import dataclasses
 import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.types.block import Block
+
+
+def timeline_mean(timeline, start: float, end: float) -> float:
+    """Average Tx/s of the timeline buckets within ``[start, end)``.
+
+    Works on both in-memory ``[(t, tps), ...]`` timelines and the
+    ``[[t, tps], ...]`` lists found in stored campaign records.
+    """
+    values = [tps for t, tps in timeline if start <= t < end]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
 
 
 @dataclass
@@ -67,6 +80,21 @@ class RunMetrics:
     sync_rounds: int = 0
     sync_blocks_fetched: int = 0
     sync_bytes_fetched: int = 0
+
+    def to_dict(self) -> Dict[str, float]:
+        """Lossless JSON-compatible dict (raw field values, SI units).
+
+        This is the serialization the campaign :class:`ResultStore` records;
+        :meth:`from_dict` inverts it exactly.  For the human-facing view with
+        millisecond conversions, see :meth:`as_dict`.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "RunMetrics":
+        """Rebuild metrics serialized with :meth:`to_dict` (unknown keys ok)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view used by the benchmark report printers."""

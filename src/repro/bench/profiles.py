@@ -6,8 +6,9 @@ by transaction in reasonable wall-clock time, so the benchmark profile scales
 every CPU cost up by a constant factor.  Scaling all costs together preserves
 the *relative* behaviour of the protocols — who saturates first, how block
 size and payload shift the curves — while keeping each simulated run to a few
-hundred thousand events.  EXPERIMENTS.md reports both the paper's absolute
-numbers and the simulator's, and compares shapes rather than magnitudes.
+hundred thousand events.  ``docs/EXPERIMENTS.md`` reports both the paper's
+absolute numbers and the simulator's, and compares shapes rather than
+magnitudes.
 
 Profiles
 --------

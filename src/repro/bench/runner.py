@@ -104,6 +104,27 @@ class ExperimentResult:
         """Mean latency in milliseconds."""
         return self.metrics.mean_latency * 1e3
 
+    def to_dict(self) -> Dict:
+        """Lossless JSON-compatible dict (the campaign record shape)."""
+        return {
+            "config": self.config.to_dict(),
+            "metrics": self.metrics.to_dict(),
+            "consistent": self.consistent,
+            "highest_view": self.highest_view,
+            "timeline": [[t, tps] for t, tps in self.timeline],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentResult":
+        """Rebuild a result serialized with :meth:`to_dict`."""
+        return cls(
+            config=Configuration.from_dict(data["config"]),
+            metrics=RunMetrics.from_dict(data["metrics"]),
+            consistent=data["consistent"],
+            highest_view=data["highest_view"],
+            timeline=[(t, tps) for t, tps in data.get("timeline", [])],
+        )
+
 
 def build_cluster(config: Configuration) -> Cluster:
     """Wire up a cluster (replicas, clients, network, metrics) per ``config``."""

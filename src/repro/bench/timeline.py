@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.bench.config import Configuration
+from repro.bench.metrics import timeline_mean
 from repro.scenario import CrashReplica, NetworkFluctuation, Scenario, ScenarioRunner
 
 
@@ -72,10 +73,7 @@ class ResponsivenessResult:
 
     def mean_throughput(self, start: float, end: float) -> float:
         """Average Tx/s of the timeline buckets within [start, end)."""
-        values = [tps for t, tps in self.timeline if start <= t < end]
-        if not values:
-            return 0.0
-        return sum(values) / len(values)
+        return timeline_mean(self.timeline, start, end)
 
 
 def run_responsiveness(

@@ -1,0 +1,50 @@
+"""Campaigns: declarative experiment grids, parallel execution, persistence.
+
+The campaign layer is how whole evaluation sections are run (the paper's
+Table 2 and Figs. 8-15 are each one campaign):
+
+* :class:`ExperimentSpec` — a JSON-round-trippable description of a grid of
+  runs: base configuration + ``grid``/``zip``/``points`` axes + optional
+  scenario + repetitions and seed policy (:mod:`repro.experiments.spec`);
+* :class:`CampaignRunner` — executes the expanded runs serially or across N
+  worker processes with bit-identical records either way
+  (:mod:`repro.experiments.runner`);
+* :class:`ResultStore` — one JSONL record per completed run, keyed by a
+  content hash, so re-running a campaign skips finished points
+  (:mod:`repro.experiments.store`);
+* the ``python -m repro`` CLI (:mod:`repro.experiments.cli`).
+
+See ``docs/EXPERIMENTS.md`` for the JSON schemas and CLI walkthrough.
+"""
+
+from repro.experiments.runner import (
+    CampaignResult,
+    CampaignRunner,
+    execute_payload,
+    run_campaign,
+    timeline_mean,
+)
+from repro.experiments.spec import (
+    DEFAULT_BUCKET,
+    ExperimentSpec,
+    RunSpec,
+    SpecError,
+    run_key,
+)
+from repro.experiments.store import ResultStore, StoreError, encode_record
+
+__all__ = [
+    "DEFAULT_BUCKET",
+    "CampaignResult",
+    "CampaignRunner",
+    "ExperimentSpec",
+    "ResultStore",
+    "RunSpec",
+    "SpecError",
+    "StoreError",
+    "encode_record",
+    "execute_payload",
+    "run_campaign",
+    "run_key",
+    "timeline_mean",
+]

@@ -1,0 +1,261 @@
+"""The ``python -m repro`` command line: run, campaign, sweep, list.
+
+Every subcommand is driven by the same JSON files the library consumes::
+
+    python -m repro run experiment.json            # one experiment (+scenario)
+    python -m repro campaign grid.json -w 4 -s out # a parallel, resumable grid
+    python -m repro sweep config.json --concurrency 8,32,128
+    python -m repro list                           # extension points
+    python -m repro list --store out               # stored campaign records
+
+``run`` accepts either a flat configuration object or
+``{"config": {...}, "scenario": {...}}``; ``campaign`` accepts an
+:class:`~repro.experiments.spec.ExperimentSpec` dict (optionally wrapped in
+``{"spec": {...}}``).  See ``docs/EXPERIMENTS.md`` for the schemas.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.config import Configuration, ConfigurationError
+from repro.bench.runner import run_experiment
+from repro.bench.sweeps import saturation_sweep
+from repro.experiments.runner import CampaignRunner
+from repro.experiments.spec import ExperimentSpec, SpecError
+from repro.experiments.store import ResultStore, StoreError
+from repro.plugins import RegistryError
+from repro.scenario import Scenario, ScenarioRunner
+
+
+def format_cell(value: Any) -> str:
+    """Render one table cell (None as '-', floats at two decimals)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: List[Dict[str, Any]], columns: Iterable[str]) -> str:
+    """Render rows as a fixed-width text table (header + one line per row).
+
+    This is the one table renderer; ``benchmarks/common.py`` delegates to it
+    for the paper-style tables.
+    """
+    columns = list(columns)
+    widths = {
+        c: max(len(c), *(len(format_cell(r.get(c))) for r in rows)) if rows else len(c)
+        for c in columns
+    }
+    lines = ["  ".join(c.ljust(widths[c]) for c in columns)]
+    for row in rows:
+        lines.append("  ".join(format_cell(row.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _load_json(path: str) -> Dict[str, Any]:
+    try:
+        return json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such file: {path}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+
+
+def _metrics_row(metrics: Dict[str, float]) -> Dict[str, Any]:
+    return {
+        "throughput_tps": metrics["throughput_tps"],
+        "mean_latency_ms": metrics["mean_latency"] * 1e3,
+        "p99_latency_ms": metrics["p99_latency"] * 1e3,
+        "cgr": metrics["chain_growth_rate"],
+        "block_interval": metrics["block_interval"],
+        "committed_tx": metrics["committed_transactions"],
+    }
+
+
+def _params_label(params: Dict[str, Any]) -> str:
+    if not params:
+        return "-"
+    return " ".join(f"{k.lstrip('_')}={v}" for k, v in params.items())
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    data = _load_json(args.config)
+    config = Configuration.from_dict(data.get("config", data))
+    scenario_data = data.get("scenario")
+    if args.scenario:
+        scenario_data = _load_json(args.scenario)
+        scenario_data = scenario_data.get("scenario", scenario_data)
+    if scenario_data is not None:
+        result = ScenarioRunner(config, Scenario.from_dict(scenario_data)).run()
+    else:
+        result = run_experiment(config)
+    if args.json:
+        print(json.dumps(result.metrics.to_dict() | {"consistent": result.consistent}, indent=2))
+    else:
+        row = _metrics_row(result.metrics.to_dict()) | {"consistent": result.consistent}
+        print(format_table([row], row.keys()))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.from_dict(_load_json(args.spec))
+    store = ResultStore(args.store) if args.store else None
+    runner = CampaignRunner(spec, workers=args.workers, store=store, force=args.force)
+    result = runner.run()
+    if args.json:
+        print(json.dumps(result.records, indent=2))
+        return 0
+    rows = [
+        {"run": r["index"], "params": _params_label(r["params"]),
+         "consistent": r["consistent"], **_metrics_row(r["metrics"])}
+        for r in result.records
+    ]
+    parts = [f"{result.executed} executed"]
+    if result.deduplicated:
+        parts.append(f"{result.deduplicated} duplicate points folded")
+    parts.append(f"{result.skipped} already stored")
+    print(f"campaign {spec.name!r}: {len(result.records)} runs ({', '.join(parts)})")
+    if store is not None:
+        print(f"results: {store.path}")
+    print(format_table(rows, ["run", "params", "throughput_tps", "mean_latency_ms",
+                               "cgr", "block_interval", "consistent"]))
+    return 0
+
+
+def _parse_floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if bool(args.concurrency) == bool(args.arrival_rates):
+        raise SystemExit("error: give exactly one of --concurrency or --arrival-rates")
+    data = _load_json(args.config)
+    config = Configuration.from_dict(data.get("config", data))
+    if args.concurrency:
+        points = saturation_sweep(
+            config,
+            concurrency_levels=[int(v) for v in _parse_floats(args.concurrency)],
+            workers=args.workers,
+        )
+    else:
+        points = saturation_sweep(
+            config, arrival_rates=_parse_floats(args.arrival_rates), workers=args.workers
+        )
+    if args.json:
+        print(json.dumps([p.to_dict() for p in points], indent=2))
+    else:
+        rows = [
+            {"load": p.load, "throughput_tps": p.throughput_tps,
+             "latency_ms": p.latency_ms, "p99_ms": p.p99_latency * 1e3,
+             "cgr": p.chain_growth_rate, "block_interval": p.block_interval}
+            for p in points
+        ]
+        print(format_table(rows, ["load", "throughput_tps", "latency_ms", "p99_ms",
+                                   "cgr", "block_interval"]))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.store:
+        if not Path(args.store).is_dir():
+            raise SystemExit(f"error: no such result store: {args.store}")
+        store = ResultStore(args.store)
+        records = store.records(campaign=args.kind)
+        if args.json:
+            print(json.dumps(records, indent=2))
+            return 0
+        rows = [
+            {"run_id": r["run_id"], "campaign": r.get("campaign", "-"),
+             "params": _params_label(r.get("params", {})),
+             "throughput_tps": r["metrics"]["throughput_tps"],
+             "consistent": r.get("consistent")}
+            for r in records
+        ]
+        print(f"{store.path}: {len(records)} records")
+        print(format_table(rows, ["run_id", "campaign", "params",
+                                   "throughput_tps", "consistent"]))
+        return 0
+    from repro.api import available
+
+    listings = available()
+    if args.kind:
+        if args.kind not in listings:
+            raise SystemExit(
+                f"error: unknown extension point {args.kind!r}; "
+                f"available: {', '.join(listings)}"
+            )
+        listings = {args.kind: listings[args.kind]}
+    if args.json:
+        print(json.dumps(listings, indent=2))
+    else:
+        for kind, names in listings.items():
+            print(f"{kind}: {', '.join(names)}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run chained-BFT experiments, campaigns, and sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one experiment from a JSON config")
+    run_p.add_argument("config", help="JSON file: a Configuration (optionally "
+                                      "{'config': ..., 'scenario': ...})")
+    run_p.add_argument("--scenario", help="JSON file with a fault schedule")
+    run_p.add_argument("--json", action="store_true", help="print raw JSON metrics")
+    run_p.set_defaults(func=_cmd_run)
+
+    camp_p = sub.add_parser("campaign", help="run a declarative experiment grid")
+    camp_p.add_argument("spec", help="JSON file with an ExperimentSpec")
+    camp_p.add_argument("-w", "--workers", type=int, default=1,
+                        help="worker processes (default 1 = serial)")
+    camp_p.add_argument("-s", "--store", help="result store directory (enables resume)")
+    camp_p.add_argument("--force", action="store_true",
+                        help="re-run points already present in the store")
+    camp_p.add_argument("--json", action="store_true", help="print raw JSON records")
+    camp_p.set_defaults(func=_cmd_campaign)
+
+    sweep_p = sub.add_parser("sweep", help="latency/throughput saturation sweep")
+    sweep_p.add_argument("config", help="JSON file with the base Configuration")
+    sweep_p.add_argument("--concurrency", help="comma-separated closed-loop levels")
+    sweep_p.add_argument("--arrival-rates", help="comma-separated open-loop Tx/s rates")
+    sweep_p.add_argument("-w", "--workers", type=int, default=1,
+                         help="worker processes (default 1 = serial)")
+    sweep_p.add_argument("--json", action="store_true", help="print raw JSON points")
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    list_p = sub.add_parser("list", help="list extension points or stored results")
+    list_p.add_argument("kind", nargs="?",
+                        help="extension point (or campaign name with --store)")
+    list_p.add_argument("-s", "--store", help="list this result store's records instead")
+    list_p.add_argument("--json", action="store_true", help="print raw JSON")
+    list_p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ConfigurationError, SpecError, StoreError, RegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

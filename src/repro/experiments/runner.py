@@ -1,0 +1,204 @@
+"""Campaign execution: run every expanded point, serially or in parallel.
+
+:class:`CampaignRunner` takes an :class:`~repro.experiments.spec.ExperimentSpec`,
+expands it, skips points already present in the optional
+:class:`~repro.experiments.store.ResultStore`, and executes the rest —
+either in-process or across N worker processes via
+``concurrent.futures.ProcessPoolExecutor`` (stdlib only).  Each simulation
+is an isolated discrete-event run fully determined by its configuration and
+seed, so the per-run records are **bit-identical** whichever way they were
+executed (the stored JSONL lines are identical modulo ordering).  Each
+record is appended to the store the moment its run completes, so an
+interrupted campaign keeps every finished point and resumes from there.
+
+Worker processes import this module fresh under the ``spawn`` start method,
+which re-registers every *built-in* protocol/strategy/client; custom plugins
+registered at runtime exist only in the parent, so campaigns that use them
+should run with ``workers=1`` (or ensure the registering module is imported
+on worker startup).  Under the default ``fork`` start method on Linux the
+parent's registries are inherited and custom plugins work everywhere.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.bench.config import Configuration
+from repro.bench.metrics import timeline_mean
+from repro.bench.runner import run_experiment
+from repro.experiments.spec import ExperimentSpec, RunSpec
+from repro.experiments.store import ResultStore
+from repro.scenario import Scenario, ScenarioRunner
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "execute_payload",
+    "run_campaign",
+    "timeline_mean",
+]
+
+
+def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one expanded point (as a :meth:`RunSpec.payload` dict).
+
+    This is the function worker processes execute; it only touches the
+    payload dict and returns a plain JSON-compatible record, so it pickles
+    cleanly in both directions.
+    """
+    config = Configuration.from_dict(payload["config"])
+    scenario_data = payload.get("scenario")
+    record: Dict[str, Any] = {
+        "run_id": payload["run_id"],
+        "campaign": payload["campaign"],
+        "index": payload["index"],
+        "repetition": payload["repetition"],
+        "params": payload["params"],
+        "config": config.to_dict(),
+    }
+    if scenario_data is not None:
+        scenario = Scenario.from_dict(scenario_data)
+        outcome = ScenarioRunner(config, scenario, bucket=payload["bucket"]).run()
+        record["scenario"] = scenario.to_dict()
+        timeline = outcome.timeline
+    else:
+        outcome = run_experiment(config)
+        timeline = outcome.timeline
+    record["metrics"] = outcome.metrics.to_dict()
+    record["consistent"] = outcome.consistent
+    record["highest_view"] = outcome.highest_view
+    record["timeline"] = [[t, tps] for t, tps in timeline]
+    return record
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign: per-run records plus execution bookkeeping."""
+
+    spec: ExperimentSpec
+    #: One record per expanded run, in expansion order.  Records served from
+    #: the store are re-labelled with the current expansion's index/params.
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    #: Number of simulations actually executed this time.
+    executed: int = 0
+    #: Number of points served from the result store without running.
+    skipped: int = 0
+    #: Number of in-spec duplicate points folded into another run's record
+    #: (identical content hash within one expansion — executed once).
+    deduplicated: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def metric(self, name: str) -> List[float]:
+        """The named metric across every record, in expansion order."""
+        return [record["metrics"][name] for record in self.records]
+
+
+class CampaignRunner:
+    """Expands a spec and executes its pending points, optionally in parallel."""
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        workers: int = 1,
+        store: Optional[Union[ResultStore, str]] = None,
+        force: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.workers = max(1, int(workers))
+        if store is None or isinstance(store, ResultStore):
+            self.store = store
+        else:
+            self.store = ResultStore(store)
+        #: Re-run and re-record points even when the store already has them.
+        self.force = force
+
+    def run(self) -> CampaignResult:
+        """Execute the campaign and return every record in expansion order."""
+        runs = self.spec.expand()
+        pending: List[RunSpec] = []
+        reused: Dict[str, Dict[str, Any]] = {}
+        seen: set = set()
+        for run in runs:
+            run_id = run.run_id
+            if run_id in seen or run_id in reused:
+                continue
+            if self.store is not None and not self.force and run_id in self.store:
+                reused[run_id] = self.store.get(run_id)
+            else:
+                seen.add(run_id)
+                pending.append(run)
+
+        fresh = self._execute(pending)
+        if self.store is not None:
+            # Fold any superseded lines (forced re-runs) back to one
+            # record per run; a no-op for ordinary campaigns.
+            self.store.compact()
+
+        records: List[Dict[str, Any]] = []
+        for run in runs:
+            base = fresh.get(run.run_id) or reused[run.run_id]
+            records.append(
+                {
+                    **base,
+                    "campaign": run.campaign,
+                    "index": run.index,
+                    "repetition": run.repetition,
+                    "params": run.params,
+                }
+            )
+        # Only true store hits count as skipped; in-spec duplicate points
+        # deduplicate to one execution but were never stored.
+        skipped = sum(1 for run in runs if run.run_id in reused)
+        return CampaignResult(
+            spec=self.spec,
+            records=records,
+            executed=len(pending),
+            skipped=skipped,
+            deduplicated=len(runs) - len(pending) - skipped,
+        )
+
+    def _execute(self, pending: List[RunSpec]) -> Dict[str, Dict[str, Any]]:
+        results: Dict[str, Dict[str, Any]] = {}
+
+        def completed(record: Dict[str, Any]) -> None:
+            # Persist immediately: an interrupted (or partially failed)
+            # campaign keeps every run that finished before the failure.
+            results[record["run_id"]] = record
+            if self.store is not None:
+                self.store.add(record)
+
+        payloads = [run.payload() for run in pending]
+        if self.workers > 1 and len(payloads) > 1:
+            failure: Optional[BaseException] = None
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(payloads))) as pool:
+                futures = [pool.submit(execute_payload, payload) for payload in payloads]
+                for future in as_completed(futures):
+                    # One failing run must not discard its siblings: the
+                    # pool runs them to completion anyway, so collect and
+                    # persist every success before re-raising the first
+                    # failure (parity with serial interruption semantics).
+                    try:
+                        completed(future.result())
+                    except Exception as exc:  # noqa: BLE001 - re-raised below
+                        if failure is None:
+                            failure = exc
+            if failure is not None:
+                raise failure
+        else:
+            for payload in payloads:
+                completed(execute_payload(payload))
+        return results
+
+
+def run_campaign(
+    spec: ExperimentSpec,
+    workers: int = 1,
+    store: Optional[Union[ResultStore, str]] = None,
+    force: bool = False,
+) -> CampaignResult:
+    """Convenience wrapper: ``CampaignRunner(spec, ...).run()``."""
+    return CampaignRunner(spec, workers=workers, store=store, force=force).run()

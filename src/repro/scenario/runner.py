@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.config import Configuration
-from repro.bench.metrics import RunMetrics
+from repro.bench.metrics import RunMetrics, timeline_mean
 from repro.bench.runner import Cluster, build_cluster
 from repro.scenario.events import ScenarioEvent
 
@@ -91,10 +91,7 @@ class ScenarioResult:
 
     def mean_throughput(self, start: float, end: float) -> float:
         """Average Tx/s of the timeline buckets within [start, end)."""
-        values = [tps for t, tps in self.timeline if start <= t < end]
-        if not values:
-            return 0.0
-        return sum(values) / len(values)
+        return timeline_mean(self.timeline, start, end)
 
 
 class ScenarioRunner:

@@ -1,0 +1,166 @@
+"""Tests for the ``python -m repro`` command line (in-process via cli.main)."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.store import ResultStore
+
+FAST = {
+    "protocol": "hotstuff",
+    "block_size": 20,
+    "runtime": 0.5,
+    "warmup": 0.1,
+    "cooldown": 0.1,
+    "concurrency": 8,
+    "num_clients": 1,
+    "cost_profile": "fast",
+    "view_timeout": 0.05,
+    "request_timeout": 0.2,
+}
+
+
+@pytest.fixture
+def config_file(tmp_path):
+    path = tmp_path / "config.json"
+    path.write_text(json.dumps({"config": FAST}))
+    return str(path)
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "cli-smoke",
+                "base": FAST,
+                "grid": {"protocol": ["hotstuff", "2chainhs"], "block_size": [20, 40]},
+            }
+        )
+    )
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_metrics_table(self, config_file, capsys):
+        assert main(["run", config_file]) == 0
+        out = capsys.readouterr().out
+        assert "throughput_tps" in out
+        assert "consistent" in out
+
+    def test_run_json_output(self, config_file, capsys):
+        assert main(["run", config_file, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["throughput_tps"] > 0
+        assert data["consistent"] is True
+
+    def test_run_with_scenario_file(self, config_file, tmp_path, capsys):
+        scenario = tmp_path / "scenario.json"
+        scenario.write_text(
+            json.dumps({"events": [{"kind": "crash-replica", "at": 0.3, "replica": "last"}]})
+        )
+        assert main(["run", config_file, "--scenario", str(scenario), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["consistent"] is True
+
+    def test_run_invalid_config_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"protocol": "pbft"}))
+        assert main(["run", str(path)]) == 1
+        assert "unknown protocol" in capsys.readouterr().err
+
+    def test_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such file"):
+            main(["run", str(tmp_path / "nope.json")])
+
+
+class TestCampaign:
+    def test_campaign_writes_store_and_resumes(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["campaign", spec_file, "--workers", "2", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "4 runs (4 executed, 0 already stored)" in out
+        assert len(ResultStore(store)) == 4
+        # Resume: zero executed, four served from the store.
+        assert main(["campaign", spec_file, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "(0 executed, 4 already stored)" in out
+        assert len(ResultStore(store)) == 4
+
+    def test_campaign_json_output(self, spec_file, capsys):
+        assert main(["campaign", spec_file, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 4
+        assert all(r["metrics"]["throughput_tps"] > 0 for r in records)
+
+    def test_corrupt_store_fails_cleanly(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "results.jsonl").write_text("truncated junk\n")
+        assert main(["list", "--store", str(root)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_campaign_bad_spec_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"base": FAST, "grid": {"bogus_field": [1]}}))
+        assert main(["campaign", str(path)]) == 1
+        assert "not a Configuration field" in capsys.readouterr().err
+
+    def test_campaign_unknown_scenario_event_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad_scenario.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "base": FAST,
+                    "grid": {"block_size": [20]},
+                    "scenario": {"events": [{"kind": "no-such-event", "at": 1.0}]},
+                }
+            )
+        )
+        assert main(["campaign", str(path)]) == 1
+        assert "unknown scenario event" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_concurrency(self, config_file, capsys):
+        assert main(["sweep", config_file, "--concurrency", "4,8", "--json"]) == 0
+        points = json.loads(capsys.readouterr().out)
+        assert [p["load"] for p in points] == [4.0, 8.0]
+
+    def test_sweep_requires_exactly_one_axis(self, config_file):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["sweep", config_file])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["sweep", config_file, "--concurrency", "4", "--arrival-rates", "100"])
+
+
+class TestList:
+    def test_list_extension_points(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("protocols", "strategies", "clients", "scenario_events"):
+            assert kind in out
+        assert "hotstuff" in out
+
+    def test_list_one_kind_json(self, capsys):
+        assert main(["list", "protocols", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "hotstuff" in data["protocols"]
+
+    def test_list_unknown_kind(self):
+        with pytest.raises(SystemExit, match="unknown extension point"):
+            main(["list", "widgets"])
+
+    def test_list_missing_store_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such result store"):
+            main(["list", "--store", str(tmp_path / "typo")])
+
+    def test_list_store_records(self, spec_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["campaign", spec_file, "--store", store])
+        capsys.readouterr()
+        assert main(["list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "4 records" in out
+        assert "cli-smoke" in out
