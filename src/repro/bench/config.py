@@ -101,6 +101,19 @@ class Configuration:
     #: Peers asked per fetch round.
     sync_fanout: int = 2
 
+    # --- checkpointing -----------------------------------------------------
+    #: Take a checkpoint (snapshot executor state, truncate the forest below
+    #: it) every this many committed blocks; 0 disables checkpointing.  With
+    #: it on, a long run's forest holds O(checkpoint_interval) blocks instead
+    #: of O(run length), with committed metrics unchanged (see
+    #: :mod:`repro.checkpoint`).
+    checkpoint_interval: int = 0
+    #: Serve checkpoints to (and install them from) peers during sync, so a
+    #: recovered or far-behind replica crosses a deep gap in one snapshot
+    #: transfer instead of walking blocks.  Only effective when
+    #: ``checkpoint_interval`` is positive.
+    snapshot_sync_enabled: bool = True
+
     # --- simulation ------------------------------------------------------
     seed: int = 1
     #: Cost profile name ("standard", "fast", "ohs") — see bench.profiles.
@@ -239,6 +252,7 @@ class Configuration:
             if value <= 0:
                 problems.append(f"{name}: must be positive, got {value}")
         non_negatives = [
+            ("checkpoint_interval", self.checkpoint_interval),
             ("payload_size", self.payload_size),
             ("arrival_rate", self.arrival_rate),
             ("base_delay_mean", self.base_delay_mean),

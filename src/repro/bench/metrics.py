@@ -80,6 +80,15 @@ class RunMetrics:
     sync_rounds: int = 0
     sync_blocks_fetched: int = 0
     sync_bytes_fetched: int = 0
+    #: Checkpoint activity across the whole cluster and run (not windowed;
+    #: see :mod:`repro.checkpoint`).  ``peak_forest_blocks`` is the largest
+    #: per-replica forest observed at a checkpoint — the bounded-memory
+    #: claim is that it stays O(checkpoint_interval) on long runs.
+    checkpoints_taken: int = 0
+    snapshots_installed: int = 0
+    blocks_truncated: int = 0
+    snapshot_bytes_fetched: int = 0
+    peak_forest_blocks: int = 0
 
     def to_dict(self) -> Dict[str, float]:
         """Lossless JSON-compatible dict (raw field values, SI units).
@@ -113,6 +122,11 @@ class RunMetrics:
             "sync_rounds": self.sync_rounds,
             "sync_blocks_fetched": self.sync_blocks_fetched,
             "sync_bytes_fetched": self.sync_bytes_fetched,
+            "checkpoints_taken": self.checkpoints_taken,
+            "snapshots_installed": self.snapshots_installed,
+            "blocks_truncated": self.blocks_truncated,
+            "snapshot_bytes_fetched": self.snapshot_bytes_fetched,
+            "peak_forest_blocks": self.peak_forest_blocks,
         }
 
 
@@ -131,11 +145,17 @@ class MetricsCollector:
         self.views_entered: Dict[int, float] = {}
         self.safety_violations = 0
         self.observer: Optional[str] = None
-        # Sync activity is never windowed or attributed, so plain counters
-        # suffice (per-replica detail lives in each SyncManager's stats).
+        # Sync and checkpoint activity is never windowed or attributed, so
+        # plain counters suffice (per-replica detail lives in each manager's
+        # stats object).
         self.sync_rounds = 0
         self.sync_blocks_fetched = 0
         self.sync_bytes_fetched = 0
+        self.checkpoints_taken = 0
+        self.snapshots_installed = 0
+        self.blocks_truncated = 0
+        self.snapshot_bytes_fetched = 0
+        self.peak_forest_blocks = 0
 
     # ------------------------------------------------------------------
     # observer-side events
@@ -180,6 +200,35 @@ class MetricsCollector:
         """A replica ingested one BlockResponse (``num_blocks`` newly inserted)."""
         self.sync_blocks_fetched += num_blocks
         self.sync_bytes_fetched += num_bytes
+
+    # ------------------------------------------------------------------
+    # checkpoint events (reported by every replica, not just the observer)
+    # ------------------------------------------------------------------
+    def record_forest_size(self, node_id: str, blocks: int, now: float) -> None:
+        """A checkpointing replica observed its forest size at a commit.
+
+        Reported on every commit (pre-truncation), so ``peak_forest_blocks``
+        reflects what was actually held — including on runs too short to
+        ever complete a checkpoint interval.
+        """
+        self.peak_forest_blocks = max(self.peak_forest_blocks, blocks)
+
+    def record_checkpoint(
+        self, node_id: str, height: int, blocks_truncated: int, now: float
+    ) -> None:
+        """A replica took a checkpoint and truncated its forest below it."""
+        self.checkpoints_taken += 1
+        self.blocks_truncated += blocks_truncated
+
+    def record_snapshot_response(self, node_id: str, num_bytes: int, now: float) -> None:
+        """A replica received one SnapshotResponse (counted whether or not it
+        installs — negatives and stale duplicates are real traffic too, the
+        same convention :meth:`record_sync_fetch` uses for response bytes)."""
+        self.snapshot_bytes_fetched += num_bytes
+
+    def record_snapshot_install(self, node_id: str, now: float) -> None:
+        """A replica installed a peer's checkpoint (snapshot catch-up)."""
+        self.snapshots_installed += 1
 
     # ------------------------------------------------------------------
     # client-side events
@@ -283,4 +332,9 @@ class MetricsCollector:
             sync_rounds=self.sync_rounds,
             sync_blocks_fetched=self.sync_blocks_fetched,
             sync_bytes_fetched=self.sync_bytes_fetched,
+            checkpoints_taken=self.checkpoints_taken,
+            snapshots_installed=self.snapshots_installed,
+            blocks_truncated=self.blocks_truncated,
+            snapshot_bytes_fetched=self.snapshot_bytes_fetched,
+            peak_forest_blocks=self.peak_forest_blocks,
         )

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 from repro.bench.config import Configuration
 from repro.bench.metrics import MetricsCollector, RunMetrics
 from repro.bench.profiles import cost_profile
+from repro.checkpoint.manager import CheckpointSettings, CheckpointStats
 from repro.client.client import CLIENTS, ClientBase
 from repro.client.workload import WorkloadSpec
 from repro.core.byzantine import STRATEGIES
@@ -81,6 +82,24 @@ class Cluster:
             stats = replica.sync.stats
             for name in vars(total):
                 setattr(total, name, getattr(total, name) + getattr(stats, name))
+        return total
+
+    def checkpoint_report(self) -> CheckpointStats:
+        """Aggregate checkpoint counters across every replica.
+
+        Counters sum; ``peak_forest_blocks`` takes the cluster-wide maximum
+        (it is a bound, not a volume).
+        """
+        total = CheckpointStats()
+        for replica in self.replicas.values():
+            stats = replica.checkpoint.stats
+            for name in vars(total):
+                if name == "peak_forest_blocks":
+                    total.peak_forest_blocks = max(
+                        total.peak_forest_blocks, stats.peak_forest_blocks
+                    )
+                else:
+                    setattr(total, name, getattr(total, name) + getattr(stats, name))
         return total
 
 
@@ -162,6 +181,10 @@ def build_cluster(config: Configuration) -> Cluster:
             max_batch=config.sync_max_batch,
             fanout=config.sync_fanout,
         ),
+        checkpoint=CheckpointSettings(
+            interval=config.checkpoint_interval,
+            snapshot_sync=config.snapshot_sync_enabled,
+        ),
     )
     costs = cost_profile(config.cost_profile)
     sizes = SizeModel()
@@ -185,9 +208,11 @@ def build_cluster(config: Configuration) -> Cluster:
             size_model=sizes,
             metrics=metrics if node_id == observer_id else None,
         )
-        # Sync metrics come from every replica (the interesting syncers —
-        # recovered or partition-healed nodes — are rarely the observer).
+        # Sync and checkpoint metrics come from every replica (the
+        # interesting syncers/installers — recovered or partition-healed
+        # nodes — are rarely the observer).
         replica.sync.metrics = metrics
+        replica.checkpoint.metrics = metrics
         replicas[node_id] = replica
 
     client_cls = CLIENTS.get(config.resolved_client())

@@ -1,0 +1,33 @@
+"""Checkpointing and log truncation: bounded-memory long runs.
+
+The forest, the executor's KV log, and the sync protocol all paid
+O(run-length) memory before this package existed.  A
+:class:`~repro.checkpoint.manager.CheckpointManager` per replica snapshots
+the committed prefix every ``interval`` commits, truncates the forest below
+the checkpoint, and extends the sync protocol with snapshot transfer
+(:class:`~repro.checkpoint.messages.SnapshotRequest` /
+:class:`~repro.checkpoint.messages.SnapshotResponse`) so a recovered or
+far-behind replica installs a checkpoint and fetches only the blocks above
+it instead of walking the whole chain.
+
+Configure through :class:`~repro.bench.config.Configuration`
+(``checkpoint_interval``, ``snapshot_sync_enabled``) or directly via
+:class:`~repro.checkpoint.manager.CheckpointSettings` on the replica.
+"""
+
+from repro.checkpoint.manager import (
+    CheckpointManager,
+    CheckpointSettings,
+    CheckpointStats,
+)
+from repro.checkpoint.messages import SnapshotRequest, SnapshotResponse
+from repro.checkpoint.snapshot import Checkpoint
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "CheckpointSettings",
+    "CheckpointStats",
+    "SnapshotRequest",
+    "SnapshotResponse",
+]

@@ -81,9 +81,10 @@ def register_message_handler(
 
 def available_message_handlers() -> List[str]:
     """Canonical message type names with a registered handler."""
-    # The sync handlers register at import time of repro.sync; make sure a
-    # bare listing (e.g. api.available()) sees them without requiring the
-    # caller to have built a replica first.
+    # The sync and checkpoint handlers register at import time of their
+    # packages; make sure a bare listing (e.g. api.available()) sees them
+    # without requiring the caller to have built a replica first.
+    import repro.checkpoint  # noqa: F401  (registers SnapshotRequest/SnapshotResponse)
     import repro.sync  # noqa: F401  (registers BlockRequest/BlockResponse)
 
     return MESSAGE_HANDLERS.available()

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.checkpoint.manager import CheckpointManager, CheckpointSettings
 from repro.core.dispatch import dispatch
 from repro.crypto.costs import CryptoCostModel
 from repro.crypto.keys import KeyRegistry
@@ -96,6 +97,10 @@ class ReplicaSettings:
         Block-fetch configuration (see :class:`repro.sync.SyncSettings`);
         disable with ``sync=SyncSettings(enabled=False)`` to reproduce the
         pre-sync behaviour where recovered replicas never catch up.
+    checkpoint:
+        Checkpoint / log-truncation policy (see
+        :class:`repro.checkpoint.CheckpointSettings`); disabled by default
+        (``interval=0``), which keeps every block in memory as before.
     """
 
     block_size: int = 400
@@ -104,6 +109,7 @@ class ReplicaSettings:
     propose_wait_after_tc: float = 0.0
     prune_forks: bool = True
     sync: SyncSettings = field(default_factory=SyncSettings)
+    checkpoint: CheckpointSettings = field(default_factory=CheckpointSettings)
 
 
 @dataclass
@@ -168,6 +174,7 @@ class Replica:
         self.forest = BlockForest(orphan_capacity=self.settings.sync.orphan_capacity)
         self.safety = make_safety(protocol, self.forest)
         self.sync = SyncManager(self, self.settings.sync)
+        self.checkpoint = CheckpointManager(self, self.settings.checkpoint)
         self.mempool = Mempool(capacity=self.settings.mempool_capacity)
         self.kvstore = KeyValueStore()
         self.cpu = FifoServer(scheduler, name=f"{node_id}.cpu")
@@ -220,13 +227,19 @@ class Replica:
         missing parents — restoring *full* participation (voting and
         leading), not just view synchronization.  With sync disabled the old
         behaviour returns: later proposals park forever on missing parents.
+
+        When snapshot sync is enabled (see :mod:`repro.checkpoint`), the
+        checkpoint manager runs first: a peer checkpoint above our committed
+        height is installed in one transfer and block fetching covers only
+        the gap above it — far cheaper than walking the whole missed chain.
         """
         if not self._crashed:
             return
         self._crashed = False
         self.network.recover(self.node_id)
         self.pacemaker.resume()
-        self.sync.on_recover()
+        if not self.checkpoint.on_recover():
+            self.sync.on_recover()
 
     @property
     def current_view(self) -> int:
@@ -461,6 +474,8 @@ class Replica:
                 )
         if newly and self.settings.prune_forks:
             self._recycle_forks()
+        if newly:
+            self.checkpoint.on_commit()
 
     def _recycle_forks(self) -> None:
         removed = self.forest.prune(self.forest.committed_height)

@@ -9,9 +9,29 @@ that already committed via another branch.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.types.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class KVSnapshot:
+    """An immutable copy of the executor state at a committed height.
+
+    Taken by the checkpoint subsystem (:mod:`repro.checkpoint`) and shipped
+    inside ``SnapshotResponse`` messages; ``items`` is sorted so two replicas
+    with equal state produce byte-identical snapshots.
+    """
+
+    items: Tuple[Tuple[str, str], ...]
+    applied_txids: FrozenSet[str]
+    operations_applied: int
+
+    @property
+    def payload_bytes(self) -> int:
+        """Raw key/value bytes carried by the snapshot (for size accounting)."""
+        return sum(len(key) + len(value) for key, value in self.items)
 
 
 class KeyValueStore:
@@ -50,6 +70,20 @@ class KeyValueStore:
     def was_applied(self, txid: str) -> bool:
         """True if the transaction id has already been executed."""
         return txid in self._applied
+
+    def snapshot(self) -> KVSnapshot:
+        """Copy the current state into an immutable :class:`KVSnapshot`."""
+        return KVSnapshot(
+            items=tuple(sorted(self._data.items())),
+            applied_txids=frozenset(self._applied),
+            operations_applied=self.operations_applied,
+        )
+
+    def restore(self, snapshot: KVSnapshot) -> None:
+        """Replace the store's state with ``snapshot`` (checkpoint install)."""
+        self._data = dict(snapshot.items)
+        self._applied = set(snapshot.applied_txids)
+        self.operations_applied = snapshot.operations_applied
 
     def state_digest(self) -> int:
         """A cheap state fingerprint for cross-replica consistency checks."""

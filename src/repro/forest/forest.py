@@ -54,8 +54,20 @@ class BlockForest:
         self.genesis = genesis
         self._vertices: Dict[str, Vertex] = {}
         self._by_height: Dict[int, List[str]] = defaultdict(list)
-        self._committed_chain: List[str] = []
+        #: Ids of the committed main chain, genesis first; list index equals
+        #: height (every commit extends the last committed block).  This is
+        #: the *commit-log index*: it outlives truncation — blocks below the
+        #: checkpoint watermark drop their vertices (and transactions) but
+        #: keep their id here, which is what keeps cross-replica consistency
+        #: hashes comparable between replicas truncated at different heights.
+        self._committed_ids: List[str] = []
         self._pruned_height = -1
+        #: Lowest height whose block (vertex) is still retained; heights
+        #: below it were truncated away by a checkpoint (see repro.checkpoint).
+        self._base_height = 0
+        #: The lowest retained committed block: genesis until a checkpoint is
+        #: installed or truncation runs, then the checkpoint block.
+        self._root_id = genesis.block_id
         self.stats = ForkStats()
 
         #: Parked blocks whose parent is missing: parent id -> blocks, plus a
@@ -69,7 +81,7 @@ class BlockForest:
         root.committed_at_view = 0
         self._vertices[genesis.block_id] = root
         self._by_height[0].append(genesis.block_id)
-        self._committed_chain.append(genesis.block_id)
+        self._committed_ids.append(genesis.block_id)
         self._highest_certified_id = genesis.block_id
 
     # ------------------------------------------------------------------
@@ -255,7 +267,7 @@ class BlockForest:
 
     def _rescan_highest_certified(self) -> None:
         """Repair the highest-certified cache by scanning (after pruning)."""
-        best = self._vertices[self.genesis.block_id]
+        best = self._vertices[self._root_id]
         for vertex in self._vertices.values():
             if vertex.certified and vertex.view > best.view:
                 best = vertex
@@ -272,7 +284,7 @@ class BlockForest:
         forest size.  Ties break toward the higher view, then lexicographic
         id, so every replica with the same forest picks the same tip.
         """
-        best = self._vertices[self.genesis.block_id]
+        best = self._vertices[self._root_id]
         for vertex in self._vertices.values():
             if not vertex.certified:
                 continue
@@ -298,16 +310,33 @@ class BlockForest:
     @property
     def committed_chain(self) -> List[str]:
         """Block ids of the main chain in commit order (genesis first)."""
-        return list(self._committed_chain)
+        return list(self._committed_ids)
+
+    def committed_prefix(self, height: int) -> Tuple[str, ...]:
+        """Ids of the committed main chain up to ``height`` inclusive.
+
+        One copy of the prefix, not a full-chain copy then a slice — this is
+        what snapshot materialization ships (see :mod:`repro.checkpoint`).
+        """
+        return tuple(self._committed_ids[: height + 1])
 
     @property
     def committed_height(self) -> int:
         """Height of the most recently committed block."""
-        return self._vertices[self._committed_chain[-1]].height
+        return len(self._committed_ids) - 1
+
+    @property
+    def base_height(self) -> int:
+        """Lowest height whose block is still retained (the truncation watermark).
+
+        Zero until :meth:`truncate_below` or :meth:`install_checkpoint` runs;
+        blocks below it survive only as ids in the commit-log index.
+        """
+        return self._base_height
 
     def last_committed(self) -> Vertex:
         """The most recently committed vertex."""
-        return self._vertices[self._committed_chain[-1]]
+        return self._vertices[self._committed_ids[-1]]
 
     def committed_blocks_between(
         self, low_height: int, high_height: int, limit: int
@@ -319,10 +348,17 @@ class BlockForest:
         block), so list index equals height and the lookup is O(limit) —
         this is what lets a sync responder serve an arbitrarily deep
         catch-up request without walking its whole forest.
+
+        Blocks below :attr:`base_height` no longer exist; a range starting
+        under the watermark cannot produce a batch that connects to the
+        requester's anchor, so it returns empty (the sync responder answers
+        such requests with a snapshot instead, see :mod:`repro.checkpoint`).
         """
         start = max(low_height + 1, 0)
+        if start < self._base_height:
+            return []
         end = min(high_height, self.committed_height, start + limit - 1)
-        return [self._vertices[b].block for b in self._committed_chain[start : end + 1]]
+        return [self._vertices[b].block for b in self._committed_ids[start : end + 1]]
 
     def commit(self, block_id: str, at_view: int) -> List[Vertex]:
         """Commit ``block_id`` and every uncommitted ancestor.
@@ -353,7 +389,7 @@ class BlockForest:
         for vertex in newly:
             vertex.committed = True
             vertex.committed_at_view = at_view
-            self._committed_chain.append(vertex.block_id)
+            self._committed_ids.append(vertex.block_id)
             self.stats.blocks_committed += 1
         return newly
 
@@ -396,19 +432,102 @@ class BlockForest:
 
         Two replicas whose committed chains agree produce identical hashes;
         integration tests use this to assert safety across the cluster.
+        Computed from the commit-log index (ids only), so it stays comparable
+        across replicas truncated at different checkpoint heights.
         """
-        ids = []
-        for block_id in self._committed_chain:
-            vertex = self._vertices[block_id]
-            if height is not None and vertex.height > height:
-                break
-            ids.append(block_id)
+        ids = self._committed_ids if height is None else self._committed_ids[: height + 1]
         return digest_fields("chain", *ids)
 
     def committed_transactions(self) -> List[str]:
-        """Transaction ids in committed order (for end-to-end ordering checks)."""
+        """Transaction ids in committed order (for end-to-end ordering checks).
+
+        Only blocks still retained contribute — transactions below the
+        truncation watermark travel in checkpoints as applied state, not as
+        a replayable log.
+        """
         txids: List[str] = []
-        for block_id in self._committed_chain:
+        for block_id in self._committed_ids[self._base_height :]:
             for tx in self._vertices[block_id].block.transactions:
                 txids.append(tx.txid)
         return txids
+
+    # ------------------------------------------------------------------
+    # checkpoint support: truncation and snapshot install
+    # ------------------------------------------------------------------
+    def truncate_below(self, height: int) -> int:
+        """Drop every vertex outside the subtree rooted at main-chain ``height``.
+
+        The committed block at ``height`` becomes the forest's new root; its
+        committed ancestors *and* any branch not descending from it are
+        removed (such branches conflict with the committed chain and can
+        never be extended by an honest proposal).  Ids of truncated committed
+        blocks remain in the commit-log index so ``committed_chain`` /
+        ``consistency_hash`` keep working.  Returns the number of vertices
+        removed.  Orphan parking is untouched: parked blocks waiting on
+        truncated parents simply age out of the bounded FIFO.
+        """
+        if height <= self._base_height:
+            return 0
+        if height > self.committed_height:
+            raise ForestError(
+                f"cannot truncate below uncommitted height {height} "
+                f"(committed height is {self.committed_height})"
+            )
+        root_id = self._committed_ids[height]
+        keep = {root_id}
+        stack = [root_id]
+        while stack:
+            for child in self._vertices[stack.pop()].children:
+                keep.add(child)
+                stack.append(child)
+        removed = 0
+        for block_id in list(self._vertices):
+            if block_id in keep:
+                continue
+            vertex = self._vertices.pop(block_id)
+            bucket = self._by_height.get(vertex.height)
+            if bucket is not None:
+                bucket.remove(block_id)
+                if not bucket:
+                    del self._by_height[vertex.height]
+            removed += 1
+        self._root_id = root_id
+        self._base_height = height
+        self._pruned_height = max(self._pruned_height, height)
+        if self._highest_certified_id not in self._vertices:
+            self._rescan_highest_certified()
+        return removed
+
+    def install_checkpoint(self, block: Block, qc: Optional[QuorumCertificate], committed_ids: List[str]) -> None:
+        """Reset the forest to a single committed root: the checkpoint block.
+
+        Used by a recovered or far-behind replica installing a peer's
+        snapshot (:mod:`repro.checkpoint`): every local vertex is discarded
+        and replaced by the checkpoint block, already committed, with ``qc``
+        as its certificate.  ``committed_ids`` is the full commit-log index
+        up to and including the checkpoint block.  The caller is responsible
+        for having validated the certificate.
+        """
+        if not committed_ids or committed_ids[-1] != block.block_id:
+            raise ForestError("checkpoint id log must end at the checkpoint block")
+        if len(committed_ids) != block.height + 1:
+            raise ForestError(
+                f"checkpoint id log length {len(committed_ids)} does not match "
+                f"checkpoint height {block.height}"
+            )
+        if block.height <= self.committed_height:
+            raise ForestError(
+                f"checkpoint at height {block.height} is not ahead of the "
+                f"committed height {self.committed_height}"
+            )
+        root = Vertex(block=block, qc=qc)
+        root.committed = True
+        root.committed_at_view = block.view
+        self._vertices = {block.block_id: root}
+        self._by_height = defaultdict(list)
+        self._by_height[block.height].append(block.block_id)
+        self._committed_ids = list(committed_ids)
+        self._root_id = block.block_id
+        self._base_height = block.height
+        self._pruned_height = max(self._pruned_height, block.height)
+        self._highest_certified_id = block.block_id

@@ -20,6 +20,11 @@ from repro.quorum.quorum import TimeoutTracker
 from repro.sim.events import Event, EventScheduler
 from repro.types.certificates import Timeout, TimeoutCertificate
 
+#: Most recent view-entry timestamps kept in :attr:`PacemakerStats.views_entered_at`.
+#: A long run enters one view every few milliseconds; keeping every entry made
+#: the dict grow with run length, so only a bounded recent window is retained.
+VIEW_HISTORY_BOUND = 1024
+
 
 class ViewChangeReason(enum.Enum):
     """Why a replica entered a new view."""
@@ -37,7 +42,15 @@ class PacemakerStats:
     view_changes_on_qc: int = 0
     view_changes_on_tc: int = 0
     highest_view: int = 0
+    #: Entry times of the most recent :data:`VIEW_HISTORY_BOUND` views
+    #: (oldest evicted first; insertion order is view-entry order).
     views_entered_at: Dict[int, float] = field(default_factory=dict)
+
+    def record_view_entered(self, view: int, now: float) -> None:
+        """Record a view entry, evicting the oldest past the history bound."""
+        self.views_entered_at[view] = now
+        while len(self.views_entered_at) > VIEW_HISTORY_BOUND:
+            self.views_entered_at.pop(next(iter(self.views_entered_at)))
 
 
 class Pacemaker:
@@ -122,10 +135,18 @@ class Pacemaker:
         return True
 
     def advance_on_tc(self, tc: TimeoutCertificate) -> bool:
-        """Advance to ``tc.view + 1`` if that is ahead of the current view."""
+        """Advance to ``tc.view + 1`` if that is ahead of the current view.
+
+        A TC is quorum-level progress just like a QC: 2f+1 replicas agreed
+        the view was stuck and view synchronization moved everyone forward.
+        The exponential-backoff counter therefore resets here too — growing
+        the timeout is only warranted while view changes *fail*, not while
+        TC-driven ones keep succeeding (paper §III-B's backoff ablation).
+        """
         target = tc.view + 1
         if target <= self.current_view:
             return False
+        self._consecutive_timeouts = 0
         self.stats.view_changes_on_tc += 1
         self._enter_view(target, ViewChangeReason.TC)
         return True
@@ -148,7 +169,7 @@ class Pacemaker:
             self._timer.cancel()
         self.current_view = view
         self.stats.highest_view = max(self.stats.highest_view, view)
-        self.stats.views_entered_at[view] = self.scheduler.now
+        self.stats.record_view_entered(view, self.scheduler.now)
         self._timer = self.scheduler.call_after(self.current_timeout(), self._on_timer, view)
         self.on_view_start(view, reason)
 

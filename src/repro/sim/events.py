@@ -31,10 +31,11 @@ class Event:
 
     Events are created via :meth:`EventScheduler.call_at` or
     :meth:`EventScheduler.call_after`.  They can be cancelled before they
-    fire; cancelled events stay in the heap but are skipped when popped.
+    fire; cancelled events stay in the heap (skipped when popped) until the
+    scheduler's lazy compaction rebuilds the heap without them.
     """
 
-    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "fired")
+    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "fired", "_scheduler")
 
     def __init__(
         self,
@@ -42,6 +43,7 @@ class Event:
         callback: Callable[..., Any],
         args: tuple,
         kwargs: dict,
+        scheduler: Optional["EventScheduler"] = None,
     ) -> None:
         self.time = time
         self.callback = callback
@@ -49,10 +51,15 @@ class Event:
         self.kwargs = kwargs
         self.cancelled = False
         self.fired = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the callback from running when its time arrives."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -79,11 +86,18 @@ class EventScheduler:
     event currently being processed (or the last processed event).
     """
 
+    #: Heaps smaller than this are never compacted (rebuilding is not worth it).
+    compaction_min_size = 64
+    #: Compact when cancelled entries exceed this fraction of the heap.
+    compaction_threshold = 0.5
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: list[_QueueEntry] = []
         self._sequence = 0
         self._processed = 0
+        self._cancelled = 0
+        self._compactions = 0
         self._running = False
 
     @property
@@ -97,6 +111,16 @@ class EventScheduler:
         return len(self._heap)
 
     @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots (awaiting compaction)."""
+        return self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Number of lazy heap compactions performed so far."""
+        return self._compactions
+
+    @property
     def processed_events(self) -> int:
         """Number of events executed so far."""
         return self._processed
@@ -107,10 +131,36 @@ class EventScheduler:
             raise SimulationError(
                 f"cannot schedule event in the past: {time:.6f} < now {self._now:.6f}"
             )
-        event = Event(time, callback, args, kwargs)
+        event = Event(time, callback, args, kwargs, scheduler=self)
         self._sequence += 1
         heapq.heappush(self._heap, _QueueEntry(time, self._sequence, event))
         return event
+
+    # ------------------------------------------------------------------
+    # cancelled-entry bookkeeping and lazy compaction
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts once cancelled entries dominate.
+
+        Long runs cancel one timer per view change (see the pacemaker), so
+        without compaction the heap grows with the number of views rather
+        than the number of live timers.  Compaction preserves the (time,
+        sequence) order of the surviving entries, so event execution order —
+        and therefore simulation determinism — is unaffected.
+        """
+        self._cancelled += 1
+        if (
+            len(self._heap) >= self.compaction_min_size
+            and self._cancelled > self.compaction_threshold * len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without the cancelled entries."""
+        self._heap = [entry for entry in self._heap if not entry.event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
 
     def call_after(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -124,6 +174,11 @@ class EventScheduler:
         Returns the number of events executed by this call.  Events scheduled
         beyond the horizon remain queued.  ``max_events`` is a safety valve
         for tests.
+
+        The clock only fast-forwards to the horizon when no pending event at
+        or before it remains queued; if ``max_events`` stops the loop early,
+        ``now`` stays at the last executed event so a later run resumes
+        without ever moving the clock backwards.
         """
         if self._running:
             raise SimulationError("scheduler is already running (re-entrant run_until)")
@@ -137,6 +192,7 @@ class EventScheduler:
                 heapq.heappop(self._heap)
                 event = entry.event
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
                 self._now = entry.time
                 event.fired = True
@@ -147,9 +203,16 @@ class EventScheduler:
                     break
         finally:
             self._running = False
-        if self._now < horizon:
+        self._drop_cancelled_head()
+        if self._now < horizon and (not self._heap or self._heap[0].time > horizon):
             self._now = horizon
         return executed
+
+    def _drop_cancelled_head(self) -> None:
+        """Pop cancelled entries off the heap top (they will never run)."""
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+            self._cancelled -= 1
 
     def run_until_idle(self, max_events: Optional[int] = None) -> int:
         """Run until the event queue drains (or ``max_events`` is hit)."""
@@ -162,6 +225,7 @@ class EventScheduler:
                 entry = heapq.heappop(self._heap)
                 event = entry.event
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
                 self._now = entry.time
                 event.fired = True

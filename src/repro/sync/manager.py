@@ -17,7 +17,10 @@ block-fetch lifecycle:
 * **Serving** — on a request, the manager walks its own forest back from the
   target to the requester's anchor and answers with an oldest-first
   :class:`~repro.sync.messages.BlockResponse` batch (``max_batch`` blocks),
-  including its certificate for the newest block sent.
+  including its certificate for the newest block sent.  Requests anchored
+  below the checkpoint truncation watermark cannot be connected by blocks
+  anymore and are delegated to the checkpoint manager, which answers with a
+  snapshot instead (:mod:`repro.checkpoint`).
 * **Ingestion** — response blocks are re-validated (embedded QC must certify
   the parent, carry a quorum of valid signatures) and inserted oldest-first
   *without voting*; draining the orphan buffer then resumes normal voting on
@@ -260,6 +263,13 @@ class SyncManager:
             target_id = forest.highest_certified().block_id
         if target_id not in forest:
             return  # cannot help; the requester will ask someone else
+        if message.known_height < forest.base_height - 1:
+            # The blocks that would connect the requester's anchor were
+            # truncated below the checkpoint watermark; the latest snapshot
+            # *is* the answer (when snapshot sync is on — otherwise stay
+            # silent, as for any unservable request).
+            replica.checkpoint.offer_snapshot(message.sender, message.known_height)
+            return
         limit = self.settings.max_batch
         # Walk only the (short) uncommitted tail above the target's first
         # committed ancestor; the committed gap below it — which is where an

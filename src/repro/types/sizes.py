@@ -62,6 +62,28 @@ class SizeModel:
         """Serialized size of a sync BlockRequest (two hashes + a height)."""
         return 2 * self.hash_size + self.view_number_size
 
+    def snapshot_request_size(self) -> int:
+        """Serialized size of a SnapshotRequest (a height plus a header)."""
+        return self.view_number_size + self.hash_size
+
+    def snapshot_size(self, checkpoint) -> int:
+        """Serialized size of a checkpoint (block, QC, id log, KV state)."""
+        state = checkpoint.state
+        return (
+            self.block_header_size
+            + self.qc_size(len(checkpoint.qc.signers))
+            + len(checkpoint.committed_ids) * self.hash_size
+            + len(state.items) * self.tx_header_size
+            + state.payload_bytes
+            + len(state.applied_txids) * self.hash_size
+        )
+
+    def snapshot_response_size(self, checkpoint=None) -> int:
+        """Serialized size of a SnapshotResponse (header only for negatives)."""
+        if checkpoint is None:
+            return self.block_header_size
+        return self.block_header_size + self.snapshot_size(checkpoint)
+
     def block_response_size(self, blocks, tip_qc_signers: int = 0) -> int:
         """Serialized size of a sync BlockResponse batch.
 

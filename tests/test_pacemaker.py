@@ -169,3 +169,83 @@ class TestTimeoutCertificates:
         assert h.pacemaker._consecutive_timeouts == 1
         h.pacemaker.advance_on_qc(1)
         assert h.pacemaker._consecutive_timeouts == 0
+
+    def test_consecutive_timeout_counter_resets_on_tc(self):
+        """A TC is quorum progress too: backoff must not keep compounding
+        while TC-driven view changes are succeeding."""
+        h = PacemakerHarness(
+            view_timeout=0.05, timeout_provider=lambda c: 0.05 * (2 ** c)
+        )
+        h.pacemaker.start()
+        h.scheduler.run_until(0.06)
+        assert h.pacemaker._consecutive_timeouts == 1
+        h.pacemaker.advance_on_tc(
+            TimeoutCertificate(view=1, signers=frozenset({"r0", "r1", "r2"}))
+        )
+        assert h.pacemaker._consecutive_timeouts == 0
+        # The new view's timer is armed with the base timeout, not 2x.
+        assert h.pacemaker.current_timeout() == pytest.approx(0.05)
+
+    def test_stale_tc_does_not_reset_backoff(self):
+        h = PacemakerHarness(view_timeout=0.05)
+        h.pacemaker.start()
+        h.pacemaker.advance_on_qc(5)
+        h.scheduler.run_until(h.scheduler.now + 0.06)
+        assert h.pacemaker._consecutive_timeouts == 1
+        stale = TimeoutCertificate(view=2, signers=frozenset({"r0", "r1", "r2"}))
+        assert not h.pacemaker.advance_on_tc(stale)
+        assert h.pacemaker._consecutive_timeouts == 1
+
+
+class TestStatsBounds:
+    def test_views_entered_at_is_bounded(self):
+        from repro.pacemaker.pacemaker import VIEW_HISTORY_BOUND
+
+        h = PacemakerHarness()
+        h.pacemaker.start()
+        last = VIEW_HISTORY_BOUND + 500
+        for view in range(1, last + 1):
+            h.pacemaker.advance_on_qc(view)
+        stats = h.pacemaker.stats
+        assert len(stats.views_entered_at) == VIEW_HISTORY_BOUND
+        assert (last + 1) in stats.views_entered_at  # newest retained
+        assert 1 not in stats.views_entered_at  # oldest evicted
+        assert stats.highest_view == last + 1
+
+
+class TestStopResume:
+    def test_stop_resume_reenters_current_view(self):
+        h = PacemakerHarness(view_timeout=0.05)
+        h.pacemaker.start()
+        h.pacemaker.advance_on_qc(3)
+        h.pacemaker.stop()
+        h.scheduler.run_until(0.5)
+        assert h.local_timeouts == []  # crashed: no timer fires
+        h.pacemaker.resume()
+        assert h.pacemaker.current_view == 4
+        assert h.view_starts[-1] == (4, ViewChangeReason.START)
+        h.scheduler.run_until(0.56)
+        assert h.local_timeouts == [4]  # the timer is re-armed
+
+    def test_stop_resume_repeatedly_leaves_one_live_timer(self):
+        """Crash/recover cycles must not accumulate live timers."""
+        h = PacemakerHarness(view_timeout=0.05)
+        h.pacemaker.start()
+        for _ in range(3):
+            h.pacemaker.stop()
+            h.pacemaker.resume()
+        h.scheduler.run_until(0.06)
+        assert h.local_timeouts == [1]  # exactly one timer fired
+
+    def test_resume_counts_toward_view_synchronization(self):
+        """After resume, remote timeouts still certify and advance views."""
+        h = PacemakerHarness()
+        h.pacemaker.start()
+        h.pacemaker.stop()
+        h.pacemaker.resume()
+        tc = None
+        for voter in ["r1", "r2", "r3"]:
+            tc = h.pacemaker.process_remote_timeout(h.remote_timeout(voter, view=1))
+        assert tc is not None
+        assert h.pacemaker.advance_on_tc(tc)
+        assert h.pacemaker.current_view == 2

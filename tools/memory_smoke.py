@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Long-run memory smoke test: bounded forests, unchanged committed metrics.
+
+Runs a 60-second-simulated-time experiment twice — checkpointing off and on
+(``checkpoint_interval=50``) — and asserts the bounded-memory contract of
+:mod:`repro.checkpoint`:
+
+* every committed-throughput/latency metric is **bit-identical** between the
+  two runs (checkpointing must be invisible to consensus);
+* with checkpointing on, the peak per-replica forest stays below a fixed
+  bound of O(checkpoint interval), while the baseline's forest grows with
+  the committed chain;
+* the scheduler's event heap stays compact (cancelled pacemaker timers are
+  lazily swept, so the heap tracks live timers, not view-change history).
+
+Exits non-zero on any violation.  CI runs this as the ``memory-smoke`` job;
+run it locally with ``python tools/memory_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.config import Configuration  # noqa: E402
+from repro.bench.runner import build_cluster  # noqa: E402
+
+#: Simulated seconds of the measured run.
+HORIZON = 60.0
+#: Commits between checkpoints in the checkpointed run.
+INTERVAL = 50
+#: Peak forest bound: the retained window is [checkpoint, head], so one
+#: interval plus the uncommitted in-flight tail.
+FOREST_BOUND = 2 * INTERVAL + 16
+
+#: RunMetrics fields that must be bit-identical between the two runs.
+COMMITTED_FIELDS = [
+    "throughput_tps",
+    "mean_latency",
+    "median_latency",
+    "p99_latency",
+    "chain_growth_rate",
+    "block_interval",
+    "committed_transactions",
+    "committed_blocks",
+    "blocks_added",
+    "blocks_forked",
+    "safety_violations",
+    "latency_samples",
+]
+
+
+def run_once(checkpoint_interval: int):
+    config = Configuration(
+        num_nodes=4,
+        block_size=20,
+        concurrency=10,
+        num_clients=1,
+        cost_profile="fast",
+        view_timeout=0.03,
+        election="hash",
+        request_timeout=0.3,
+        seed=9,
+        warmup=0.0,
+        runtime=HORIZON,
+        cooldown=0.0,
+        checkpoint_interval=checkpoint_interval,
+    )
+    cluster = build_cluster(config)
+    started = time.perf_counter()
+    cluster.start()
+    cluster.run()
+    wall = time.perf_counter() - started
+    return cluster, wall
+
+
+def main() -> int:
+    print(f"memory smoke: {HORIZON:.0f}s simulated, checkpoint_interval={INTERVAL}")
+    baseline, base_wall = run_once(0)
+    print(f"  baseline run (checkpointing off): {base_wall:.1f}s wall")
+    checked, ck_wall = run_once(INTERVAL)
+    print(f"  checkpointed run:                 {ck_wall:.1f}s wall")
+
+    failures = []
+    base_metrics = baseline.metrics.summarize()
+    ck_metrics = checked.metrics.summarize()
+    for field in COMMITTED_FIELDS:
+        base_value = getattr(base_metrics, field)
+        ck_value = getattr(ck_metrics, field)
+        if base_value != ck_value:
+            failures.append(
+                f"metric {field} diverged: baseline {base_value!r} vs "
+                f"checkpointed {ck_value!r}"
+            )
+
+    report = checked.checkpoint_report()
+    base_forest = len(baseline.replicas["r0"].forest)
+    committed = baseline.replicas["r0"].forest.committed_height
+    print(f"  committed blocks: {committed}")
+    print(f"  baseline forest blocks (r0): {base_forest}")
+    print(
+        f"  checkpointed peak forest blocks: {report.peak_forest_blocks} "
+        f"(bound {FOREST_BOUND}); {report.checkpoints_taken} checkpoints, "
+        f"{report.blocks_truncated} blocks truncated"
+    )
+    if report.checkpoints_taken == 0:
+        failures.append("no checkpoints were taken")
+    if report.peak_forest_blocks > FOREST_BOUND:
+        failures.append(
+            f"peak forest {report.peak_forest_blocks} exceeds bound {FOREST_BOUND}"
+        )
+    if base_forest <= FOREST_BOUND:
+        failures.append(
+            f"baseline forest ({base_forest} blocks) never outgrew the bound; "
+            "the smoke run is too short to prove anything"
+        )
+    if not checked.consistency_check():
+        failures.append("checkpointed run failed the consistency check")
+    if not baseline.consistency_check():
+        failures.append("baseline run failed the consistency check")
+
+    for label, cluster in (("baseline", baseline), ("checkpointed", checked)):
+        scheduler = cluster.scheduler
+        print(
+            f"  {label} scheduler heap: {scheduler.pending_events} pending "
+            f"({scheduler.cancelled_pending} cancelled), "
+            f"{scheduler.compactions} compactions, "
+            f"{scheduler.processed_events} events processed"
+        )
+        # One view timer per replica plus in-flight work; views entered over
+        # the run number in the thousands, none of which may linger.
+        if scheduler.pending_events > 10_000:
+            failures.append(
+                f"{label} scheduler heap grew to {scheduler.pending_events} "
+                "entries (cancelled-timer compaction is not working)"
+            )
+
+    if failures:
+        print("FAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("OK: forests bounded, committed metrics bit-identical, heap compact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
