@@ -18,7 +18,7 @@ import _pathfix  # noqa: F401
 
 from repro import api
 
-from common import bench_scale, campaign_records, report
+from common import bench_args, bench_scale, campaign_records, collapse_rows, report
 
 BASE_CONFIG = api.Configuration(
     num_nodes=4,
@@ -57,21 +57,21 @@ ARMS = [
 ]
 
 
-def spec(scale: str = "ci") -> api.ExperimentSpec:
+def spec(scale: str = "ci", reps: int = 1) -> api.ExperimentSpec:
     """One point per ablation arm (the CI scale drops the redundant arms)."""
     arms = ARMS
     if scale != "full":
         arms = arms[:2] + arms[3:5] + arms[7:]
     points = [{"_arm": label, **overrides} for label, overrides in arms]
     return api.ExperimentSpec(
-        name="ablation_design_choices", base=BASE_CONFIG, points=points
+        name="ablation_design_choices", base=BASE_CONFIG, points=points, repetitions=reps
     )
 
 
-def run(scale: str = "ci") -> List[Dict]:
+def run(scale: str = "ci", reps: int = 1) -> List[Dict]:
     """Run one experiment per ablation arm."""
     rows = []
-    for record in campaign_records(spec(scale)):
+    for record in campaign_records(spec(scale, reps)):
         metrics = record["metrics"]
         rows.append(
             {
@@ -82,7 +82,7 @@ def run(scale: str = "ci") -> List[Dict]:
                 "cgr": metrics["chain_growth_rate"],
             }
         )
-    return rows
+    return collapse_rows(rows, ["arm"], reps)
 
 
 def test_benchmark_ablation(benchmark):
@@ -112,7 +112,8 @@ def test_benchmark_ablation(benchmark):
 
 
 def main() -> None:
-    rows = run("full")
+    args = bench_args()
+    rows = run(args.scale, args.reps)
     report(
         "ablation_design_choices",
         "Ablation: commit depth, vote destination, election, timeout",

@@ -15,7 +15,7 @@ import _pathfix  # noqa: F401
 
 from repro import api
 
-from common import bench_scale, campaign_records, report
+from common import bench_args, bench_scale, campaign_records, collapse_rows, report
 
 BASE_CONFIG = api.Configuration(
     num_nodes=4,
@@ -37,7 +37,7 @@ CI_LEVELS = [50, 200, 800]
 FULL_LEVELS = [25, 50, 100, 200, 400, 800, 1600]
 
 
-def spec(scale: str = "ci") -> api.ExperimentSpec:
+def spec(scale: str = "ci", reps: int = 1) -> api.ExperimentSpec:
     """Every (protocol, payload, concurrency) point as one campaign."""
     payloads = FULL_PAYLOADS if scale == "full" else CI_PAYLOADS
     levels = FULL_LEVELS if scale == "full" else CI_LEVELS
@@ -52,13 +52,15 @@ def spec(scale: str = "ci") -> api.ExperimentSpec:
         for payload in payloads
         for level in levels
     ]
-    return api.ExperimentSpec(name="fig10_payload_sizes", base=BASE_CONFIG, points=points)
+    return api.ExperimentSpec(
+        name="fig10_payload_sizes", base=BASE_CONFIG, points=points, repetitions=reps
+    )
 
 
-def run(scale: str = "ci") -> List[Dict]:
+def run(scale: str = "ci", reps: int = 1) -> List[Dict]:
     """Sweep concurrency for every protocol / payload size pair."""
     rows = []
-    for record in campaign_records(spec(scale)):
+    for record in campaign_records(spec(scale, reps)):
         rows.append(
             {
                 "series": record["params"]["_series"],
@@ -67,7 +69,7 @@ def run(scale: str = "ci") -> List[Dict]:
                 "latency_ms": record["metrics"]["mean_latency"] * 1e3,
             }
         )
-    return rows
+    return collapse_rows(rows, ["series", "concurrency"], reps)
 
 
 def _saturation(rows, series):
@@ -99,7 +101,8 @@ def test_benchmark_fig10(benchmark):
 
 
 def main() -> None:
-    rows = run("full")
+    args = bench_args()
+    rows = run(args.scale, args.reps)
     report(
         "fig10_payload_sizes",
         "Figure 10: throughput vs. latency for payload sizes (bsize 400, 4 replicas)",

@@ -15,7 +15,7 @@ import _pathfix  # noqa: F401
 
 from repro import api
 
-from common import bench_scale, campaign_records, report
+from common import bench_args, bench_scale, campaign_records, collapse_rows, report
 
 BASE_CONFIG = api.Configuration(
     num_nodes=4,
@@ -40,7 +40,7 @@ CI_LEVELS = [50, 400]
 FULL_LEVELS = [25, 50, 100, 200, 400, 800]
 
 
-def spec(scale: str = "ci") -> api.ExperimentSpec:
+def spec(scale: str = "ci", reps: int = 1) -> api.ExperimentSpec:
     """Every (protocol, added delay, concurrency) point as one campaign."""
     delays = FULL_DELAYS if scale == "full" else CI_DELAYS
     levels = FULL_LEVELS if scale == "full" else CI_LEVELS
@@ -56,13 +56,15 @@ def spec(scale: str = "ci") -> api.ExperimentSpec:
         for delay_label, mean, stddev in delays
         for level in levels
     ]
-    return api.ExperimentSpec(name="fig11_network_delays", base=BASE_CONFIG, points=points)
+    return api.ExperimentSpec(
+        name="fig11_network_delays", base=BASE_CONFIG, points=points, repetitions=reps
+    )
 
 
-def run(scale: str = "ci") -> List[Dict]:
+def run(scale: str = "ci", reps: int = 1) -> List[Dict]:
     """Sweep concurrency for every protocol / added delay pair."""
     rows = []
-    for record in campaign_records(spec(scale)):
+    for record in campaign_records(spec(scale, reps)):
         rows.append(
             {
                 "series": record["params"]["_series"],
@@ -71,7 +73,7 @@ def run(scale: str = "ci") -> List[Dict]:
                 "latency_ms": record["metrics"]["mean_latency"] * 1e3,
             }
         )
-    return rows
+    return collapse_rows(rows, ["series", "concurrency"], reps)
 
 
 def _low_load_latency(rows, series):
@@ -98,7 +100,8 @@ def test_benchmark_fig11(benchmark):
 
 
 def main() -> None:
-    rows = run("full")
+    args = bench_args()
+    rows = run(args.scale, args.reps)
     report(
         "fig11_network_delays",
         "Figure 11: throughput vs. latency under added network delay (bsize 400, p128)",

@@ -19,7 +19,7 @@ import _pathfix  # noqa: F401
 
 from repro import api
 
-from common import bench_scale, campaign_records, report
+from common import bench_args, bench_scale, campaign_records, collapse_rows, report
 
 BASE_CONFIG = api.Configuration(
     block_size=400,
@@ -40,7 +40,7 @@ CI_SIZES = {"HS": [4, 16], "2CHS": [4, 16], "SL": [4, 8]}
 FULL_SIZES = {"HS": [4, 8, 16, 32, 64], "2CHS": [4, 8, 16, 32, 64], "SL": [4, 8, 16, 32]}
 
 
-def spec(scale: str = "ci") -> api.ExperimentSpec:
+def spec(scale: str = "ci", reps: int = 1) -> api.ExperimentSpec:
     """One point per protocol and cluster size (irregular: SL is capped)."""
     sizes = FULL_SIZES if scale == "full" else CI_SIZES
     points = [
@@ -48,13 +48,15 @@ def spec(scale: str = "ci") -> api.ExperimentSpec:
         for label, protocol in PROTOCOLS
         for num_nodes in sizes[label]
     ]
-    return api.ExperimentSpec(name="fig12_scalability", base=BASE_CONFIG, points=points)
+    return api.ExperimentSpec(
+        name="fig12_scalability", base=BASE_CONFIG, points=points, repetitions=reps
+    )
 
 
-def run(scale: str = "ci") -> List[Dict]:
+def run(scale: str = "ci", reps: int = 1) -> List[Dict]:
     """Measure saturated throughput/latency per protocol and cluster size."""
     rows = []
-    for record in campaign_records(spec(scale)):
+    for record in campaign_records(spec(scale, reps)):
         rows.append(
             {
                 "protocol": record["params"]["_label"],
@@ -63,7 +65,7 @@ def run(scale: str = "ci") -> List[Dict]:
                 "latency_ms": record["metrics"]["mean_latency"] * 1e3,
             }
         )
-    return rows
+    return collapse_rows(rows, ["protocol", "nodes"], reps)
 
 
 def _series(rows, label):
@@ -94,7 +96,8 @@ def test_benchmark_fig12(benchmark):
 
 
 def main() -> None:
-    rows = run("full")
+    args = bench_args()
+    rows = run(args.scale, args.reps)
     report(
         "fig12_scalability",
         "Figure 12: scalability (bsize 400, 128-byte payload, saturated clients)",

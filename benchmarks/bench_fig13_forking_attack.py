@@ -20,7 +20,7 @@ import _pathfix  # noqa: F401
 
 from repro import api
 
-from common import bench_scale, campaign_records, report
+from common import bench_args, bench_scale, campaign_records, collapse_rows, report
 
 BASE_CONFIG = api.Configuration(
     strategy="forking",
@@ -44,7 +44,7 @@ CI_SETUP = {"nodes": 16, "byz_counts": [0, 5], "sl_nodes": 8, "sl_byz": [0, 2]}
 FULL_SETUP = {"nodes": 32, "byz_counts": [0, 2, 4, 6, 8, 10], "sl_nodes": 32, "sl_byz": [0, 2, 4, 6, 8, 10]}
 
 
-def spec(scale: str = "ci") -> api.ExperimentSpec:
+def spec(scale: str = "ci", reps: int = 1) -> api.ExperimentSpec:
     """One point per protocol and Byzantine count (SL uses its own sizes)."""
     setup = FULL_SETUP if scale == "full" else CI_SETUP
     points = []
@@ -55,13 +55,15 @@ def spec(scale: str = "ci") -> api.ExperimentSpec:
             {"_label": label, "protocol": protocol, "num_nodes": nodes, "byzantine_nodes": byz}
             for byz in byz_counts
         )
-    return api.ExperimentSpec(name="fig13_forking_attack", base=BASE_CONFIG, points=points)
+    return api.ExperimentSpec(
+        name="fig13_forking_attack", base=BASE_CONFIG, points=points, repetitions=reps
+    )
 
 
-def run(scale: str = "ci") -> List[Dict]:
+def run(scale: str = "ci", reps: int = 1) -> List[Dict]:
     """Measure the four metrics as the number of forking attackers grows."""
     rows = []
-    for record in campaign_records(spec(scale)):
+    for record in campaign_records(spec(scale, reps)):
         metrics = record["metrics"]
         rows.append(
             {
@@ -74,7 +76,7 @@ def run(scale: str = "ci") -> List[Dict]:
                 "block_interval": metrics["block_interval"],
             }
         )
-    return rows
+    return collapse_rows(rows, ["protocol", "nodes", "byzantine"], reps)
 
 
 def _metric(rows, protocol, byz, key):
@@ -105,7 +107,8 @@ def test_benchmark_fig13(benchmark):
 
 
 def main() -> None:
-    rows = run("full")
+    args = bench_args()
+    rows = run(args.scale, args.reps)
     report(
         "fig13_forking_attack",
         "Figure 13: metrics under the forking attack (increasing Byzantine nodes)",

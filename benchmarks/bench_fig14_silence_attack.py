@@ -19,7 +19,7 @@ import _pathfix  # noqa: F401
 
 from repro import api
 
-from common import bench_scale, campaign_records, report
+from common import bench_args, bench_scale, campaign_records, collapse_rows, report
 
 BASE_CONFIG = api.Configuration(
     strategy="silence",
@@ -50,7 +50,7 @@ CI_SETUP = {"nodes": 16, "byz_counts": [0, 4], "sl_nodes": 4, "sl_byz": [0, 1]}
 FULL_SETUP = {"nodes": 32, "byz_counts": [0, 2, 4, 6, 8, 10], "sl_nodes": 32, "sl_byz": [0, 2, 4, 6, 8, 10]}
 
 
-def spec(scale: str = "ci") -> api.ExperimentSpec:
+def spec(scale: str = "ci", reps: int = 1) -> api.ExperimentSpec:
     """One point per protocol and silent-leader count (SL gets its own timing)."""
     setup = FULL_SETUP if scale == "full" else CI_SETUP
     points = []
@@ -72,13 +72,15 @@ def spec(scale: str = "ci") -> api.ExperimentSpec:
                 point["view_timeout"] = STREAMLET_VIEW_TIMEOUT
                 point["runtime"] = STREAMLET_RUNTIME
             points.append(point)
-    return api.ExperimentSpec(name="fig14_silence_attack", base=BASE_CONFIG, points=points)
+    return api.ExperimentSpec(
+        name="fig14_silence_attack", base=BASE_CONFIG, points=points, repetitions=reps
+    )
 
 
-def run(scale: str = "ci") -> List[Dict]:
+def run(scale: str = "ci", reps: int = 1) -> List[Dict]:
     """Measure the four metrics as the number of silent leaders grows."""
     rows = []
-    for record in campaign_records(spec(scale)):
+    for record in campaign_records(spec(scale, reps)):
         metrics = record["metrics"]
         rows.append(
             {
@@ -91,7 +93,7 @@ def run(scale: str = "ci") -> List[Dict]:
                 "block_interval": metrics["block_interval"],
             }
         )
-    return rows
+    return collapse_rows(rows, ["protocol", "nodes", "byzantine"], reps)
 
 
 def _metric(rows, protocol, byz, key):
@@ -130,7 +132,8 @@ def test_benchmark_fig14(benchmark):
 
 
 def main() -> None:
-    rows = run("full")
+    args = bench_args()
+    rows = run(args.scale, args.reps)
     report(
         "fig14_silence_attack",
         "Figure 14: metrics under the silence attack (increasing Byzantine nodes)",

@@ -31,7 +31,7 @@ from repro import api
 from repro.bench.timeline import ResponsivenessScenario
 from repro.experiments import timeline_mean
 
-from common import bench_scale, campaign_records, report
+from common import bench_args, bench_scale, campaign_records, collapse_rows, report
 
 BASE_CONFIG = api.Configuration(
     num_nodes=4,
@@ -82,7 +82,7 @@ def _scenario(scale: str) -> ResponsivenessScenario:
     return FULL_SCENARIO if scale == "full" else CI_SCENARIO
 
 
-def spec(scale: str = "ci") -> api.ExperimentSpec:
+def spec(scale: str = "ci", reps: int = 1) -> api.ExperimentSpec:
     """Every (timeout setting, protocol) run under the shared fault schedule."""
     scenario = _scenario(scale)
     points = [
@@ -101,14 +101,15 @@ def spec(scale: str = "ci") -> api.ExperimentSpec:
         points=points,
         scenario=scenario.to_scenario(),
         bucket=scenario.bucket,
+        repetitions=reps,
     )
 
 
-def run(scale: str = "ci") -> List[Dict]:
+def run(scale: str = "ci", reps: int = 1) -> List[Dict]:
     """Run the fluctuation + crash scenario for each protocol and timeout."""
     scenario = _scenario(scale)
     rows = []
-    for record in campaign_records(spec(scale)):
+    for record in campaign_records(spec(scale, reps)):
         timeline = record["timeline"]
         rows.append(
             {
@@ -123,7 +124,7 @@ def run(scale: str = "ci") -> List[Dict]:
                 "consistent": record["consistent"],
             }
         )
-    return rows
+    return collapse_rows(rows, ["series"], reps)
 
 
 def _row(rows, series):
@@ -159,7 +160,8 @@ def test_benchmark_fig15(benchmark):
 
 
 def main() -> None:
-    rows = run("full")
+    args = bench_args()
+    rows = run(args.scale, args.reps)
     report(
         "fig15_responsiveness",
         "Figure 15: throughput before / during fluctuation / after the crash",

@@ -19,7 +19,7 @@ import _pathfix  # noqa: F401
 from repro import api
 from repro.model.predictions import AnalyticalModel, ModelParameters
 
-from common import bench_scale, campaign_records, report
+from common import bench_args, bench_scale, campaign_records, collapse_rows, report
 
 PROTOCOLS = ["hotstuff", "2chainhs", "streamlet"]
 
@@ -43,7 +43,7 @@ CI_LOAD_FRACTIONS = [0.2, 0.5, 0.8]
 FULL_LOAD_FRACTIONS = [0.1, 0.3, 0.5, 0.7, 0.9]
 
 
-def spec(scale: str = "ci") -> api.ExperimentSpec:
+def spec(scale: str = "ci", reps: int = 1) -> api.ExperimentSpec:
     """One point per (configuration, protocol, load fraction), with the
     model's prediction at that rate carried along as a tag."""
     configs = FULL_CONFIGS if scale == "full" else CI_CONFIGS
@@ -69,14 +69,15 @@ def spec(scale: str = "ci") -> api.ExperimentSpec:
                     }
                 )
     return api.ExperimentSpec(
-        name="fig8_model_vs_implementation", base=BASE_CONFIG, points=points
+        name="fig8_model_vs_implementation", base=BASE_CONFIG, points=points,
+        repetitions=reps,
     )
 
 
-def run(scale: str = "ci") -> List[Dict]:
+def run(scale: str = "ci", reps: int = 1) -> List[Dict]:
     """Compare measured and predicted latency across configurations."""
     rows = []
-    for record in campaign_records(spec(scale)):
+    for record in campaign_records(spec(scale, reps)):
         params = record["params"]
         metrics = record["metrics"]
         rows.append(
@@ -89,7 +90,8 @@ def run(scale: str = "ci") -> List[Dict]:
                 "measured_tput": metrics["throughput_tps"],
             }
         )
-    return rows
+    # model_ms is deterministic per point, so it stays a grouping key.
+    return collapse_rows(rows, ["config", "protocol", "arrival_tps", "model_ms"], reps)
 
 
 def test_benchmark_fig8(benchmark):
@@ -111,7 +113,8 @@ def test_benchmark_fig8(benchmark):
 
 
 def main() -> None:
-    rows = run("full")
+    args = bench_args()
+    rows = run(args.scale, args.reps)
     report(
         "fig8_model_vs_implementation",
         "Figure 8: model vs. implementation (latency in ms at increasing arrival rates)",

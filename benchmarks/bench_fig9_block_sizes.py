@@ -16,7 +16,7 @@ import _pathfix  # noqa: F401
 
 from repro import api
 
-from common import bench_scale, campaign_records, report
+from common import bench_args, bench_scale, campaign_records, collapse_rows, report
 
 BASE_CONFIG = api.Configuration(
     num_nodes=4,
@@ -45,7 +45,7 @@ SERIES = [
 ]
 
 
-def spec(scale: str = "ci") -> api.ExperimentSpec:
+def spec(scale: str = "ci", reps: int = 1) -> api.ExperimentSpec:
     """Every (series, block size, concurrency) point as one campaign."""
     levels = FULL_LEVELS if scale == "full" else CI_LEVELS
     block_sizes = FULL_BLOCK_SIZES if scale == "full" else CI_BLOCK_SIZES
@@ -63,13 +63,15 @@ def spec(scale: str = "ci") -> api.ExperimentSpec:
         if not (label == "OHS" and block_size == 400)
         for level in levels
     ]
-    return api.ExperimentSpec(name="fig9_block_sizes", base=BASE_CONFIG, points=points)
+    return api.ExperimentSpec(
+        name="fig9_block_sizes", base=BASE_CONFIG, points=points, repetitions=reps
+    )
 
 
-def run(scale: str = "ci") -> List[Dict]:
+def run(scale: str = "ci", reps: int = 1) -> List[Dict]:
     """Sweep client concurrency for every protocol / block size pair."""
     rows = []
-    for record in campaign_records(spec(scale)):
+    for record in campaign_records(spec(scale, reps)):
         rows.append(
             {
                 "series": record["params"]["_series"],
@@ -78,7 +80,7 @@ def run(scale: str = "ci") -> List[Dict]:
                 "latency_ms": record["metrics"]["mean_latency"] * 1e3,
             }
         )
-    return rows
+    return collapse_rows(rows, ["series", "concurrency"], reps)
 
 
 def _saturation(rows: List[Dict], series: str) -> float:
@@ -103,7 +105,8 @@ def test_benchmark_fig9(benchmark):
 
 
 def main() -> None:
-    rows = run("full")
+    args = bench_args()
+    rows = run(args.scale, args.reps)
     report(
         "fig9_block_sizes",
         "Figure 9: throughput vs. latency for block sizes (zero payload, 4 replicas)",

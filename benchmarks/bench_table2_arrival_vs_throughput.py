@@ -15,7 +15,7 @@ import _pathfix  # noqa: F401
 
 from repro import api
 
-from common import bench_scale, campaign_records, report
+from common import bench_args, bench_scale, campaign_records, collapse_rows, report
 
 BASE_CONFIG = api.Configuration(
     protocol="hotstuff",
@@ -36,16 +36,17 @@ CI_RATES = [500.0, 1000.0, 2000.0, 3000.0]
 FULL_RATES = [500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0, 3500.0]
 
 
-def spec(scale: str = "ci") -> api.ExperimentSpec:
+def spec(scale: str = "ci", reps: int = 1) -> api.ExperimentSpec:
     """The whole Table II sweep as one declarative grid."""
     rates = FULL_RATES if scale == "full" else CI_RATES
-    return api.grid(BASE_CONFIG, name="table2_arrival_vs_throughput", arrival_rate=rates)
+    return api.grid(BASE_CONFIG, name="table2_arrival_vs_throughput",
+                    repetitions=reps, arrival_rate=rates)
 
 
-def run(scale: str = "ci") -> List[Dict]:
+def run(scale: str = "ci", reps: int = 1) -> List[Dict]:
     """Sweep arrival rates and report observed throughput per rate."""
     rows = []
-    for record in campaign_records(spec(scale)):
+    for record in campaign_records(spec(scale, reps)):
         rate = record["params"]["arrival_rate"]
         metrics = record["metrics"]
         rows.append(
@@ -56,7 +57,7 @@ def run(scale: str = "ci") -> List[Dict]:
                 "mean_latency_ms": metrics["mean_latency"] * 1e3,
             }
         )
-    return rows
+    return collapse_rows(rows, ["arrival_rate_tps"], reps)
 
 
 def test_benchmark_table2(benchmark):
@@ -74,7 +75,8 @@ def test_benchmark_table2(benchmark):
 
 
 def main() -> None:
-    rows = run("full")
+    args = bench_args()
+    rows = run(args.scale, args.reps)
     report(
         "table2_arrival_vs_throughput",
         "Table II: arrival rate vs. transaction throughput (HotStuff, 4 replicas, bsize 400)",

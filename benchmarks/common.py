@@ -18,6 +18,17 @@ runs of each figure out over N worker processes (records are bit-identical
 either way), and ``REPRO_BENCH_STORE=dir`` to persist/resume them through a
 :class:`repro.experiments.ResultStore`.
 
+Repetitions & error bars
+------------------------
+Every module's ``main()`` accepts ``--reps N`` (default
+``REPRO_BENCH_REPS`` or 1): the spec is expanded with N seed-incremented
+repetitions per point, the per-repetition rows are collapsed through
+:func:`repro.analysis.stats.aggregate_rows`, and the printed table gains
+``<metric>_ci95`` columns (95% Student-t half-widths).  Rendering the same
+runs as the paper's figures is the ``plot`` side of the analysis subsystem:
+persist with ``REPRO_BENCH_STORE=dir`` and run ``python -m repro plot -s
+dir``.
+
 Scales
 ------
 ``ci`` (default)
@@ -36,14 +47,16 @@ shapes.
 
 from __future__ import annotations
 
+import argparse
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import _pathfix  # noqa: F401  (src/ on sys.path regardless of CWD)
 
 from repro import api
-from repro.experiments.cli import format_table as render_table
+from repro.analysis.report import format_table as render_table
+from repro.analysis.stats import aggregate_rows
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -62,6 +75,14 @@ def bench_workers() -> int:
         return 1
 
 
+def bench_reps() -> int:
+    """Repetitions per point (REPRO_BENCH_REPS, default 1 = no error bars)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_REPS", "1")))
+    except ValueError:
+        return 1
+
+
 def bench_store():
     """The shared result store (REPRO_BENCH_STORE names a dir), or None."""
     root = os.environ.get("REPRO_BENCH_STORE", "")
@@ -73,17 +94,67 @@ def campaign_records(spec) -> List[Dict]:
     return api.campaign(spec, workers=bench_workers(), store=bench_store()).records
 
 
+def collapse_rows(rows: List[Dict], keys: Sequence[str], reps: int) -> List[Dict]:
+    """Collapse per-repetition rows into mean rows with ``_ci95`` columns.
+
+    A no-op for single-repetition runs, so the committed CI tables (and the
+    ``test_benchmark_*`` assertions on raw rows) are untouched.
+    """
+    if reps <= 1:
+        return rows
+    return aggregate_rows(rows, keys=keys)
+
+
+def with_ci(columns: Iterable[str], rows: List[Dict]) -> List[str]:
+    """The column list with each present ``<metric>_ci95`` companion spliced
+    in after its metric (plus ``reps``) — for collapsed repetition rows."""
+    present = set().union(*(row.keys() for row in rows)) if rows else set()
+    expanded: List[str] = []
+    for column in columns:
+        expanded.append(column)
+        if f"{column}_ci95" in present:
+            expanded.append(f"{column}_ci95")
+    if "reps" in present and "reps" not in expanded:
+        expanded.append("reps")
+    return expanded
+
+
+def bench_args(argv: Optional[Sequence[str]] = None) -> argparse.Namespace:
+    """The shared ``main()`` argument parser for every benchmark module.
+
+    ``--scale`` defaults to "full" (a module run by hand reproduces the
+    paper-sized figure) and ``--reps`` to ``REPRO_BENCH_REPS`` or 1; pass
+    ``--reps 5`` for seed-incremented repetitions with 95%-CI error columns.
+    """
+    parser = argparse.ArgumentParser(description="Reproduce one paper figure.")
+    parser.add_argument("--scale", choices=["ci", "full"], default="full",
+                        help="grid size: paper-sized (default) or the CI grid")
+    parser.add_argument("--reps", type=int, default=bench_reps(), metavar="N",
+                        help="repetitions per point (error bars across seeds)")
+    args = parser.parse_args(argv)
+    args.reps = max(1, args.reps)
+    return args
+
+
 def format_table(title: str, rows: List[Dict], columns: Iterable[str]) -> str:
-    """Render rows as a fixed-width text table (title + the CLI renderer)."""
+    """Render rows as a fixed-width text table (title + the shared
+    :mod:`repro.analysis.report` renderer)."""
     return "\n".join([title, "-" * len(title), render_table(rows, columns)])
 
 
 def report(name: str, title: str, rows: List[Dict], columns: Iterable[str]) -> str:
-    """Print the table and save it under benchmarks/results/."""
+    """Print the table and save it under benchmarks/results/.
+
+    Collapsed repetition runs (``--reps N``: rows carry ``_ci95`` columns)
+    save to ``<name>_ci95.txt`` so they never clobber the committed
+    canonical ``<name>.txt`` tables.
+    """
+    columns = with_ci(columns, rows)
     table = format_table(title, rows, columns)
     print("\n" + table)
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    stem = name if not any(c.endswith("_ci95") for c in columns) else f"{name}_ci95"
+    (RESULTS_DIR / f"{stem}.txt").write_text(table + "\n")
     return table
 
 

@@ -1,0 +1,89 @@
+"""Analysis: statistics, tables, figures, and regressions over stored runs.
+
+This subsystem closes the loop the campaign layer opened: campaigns produce
+JSONL records (:mod:`repro.experiments`), and analysis turns those records
+into the paper's deliverables — **without re-running a single simulation**:
+
+* :mod:`repro.analysis.stats` — group records by campaign/params and collapse
+  repetitions into mean / stddev / 95% CI aggregates (Student-t, stdlib);
+* :mod:`repro.analysis.report` — cross-protocol comparison tables in text,
+  markdown, and CSV (also the canonical table renderer for the CLI and the
+  benchmark harness);
+* :mod:`repro.analysis.figures` — the paper's figures (8-15, Table II) as
+  standalone SVG with error bars, pure stdlib;
+* :mod:`repro.analysis.regress` — freeze an aggregate baseline and flag
+  metrics that later move outside their confidence interval.
+
+Exposed on the facade as :func:`repro.api.aggregate` / :func:`repro.api.plot`
+and on the command line as ``python -m repro report | plot | regress``.
+"""
+
+from repro.analysis.figures import (
+    FIGURES,
+    FigureDef,
+    FigureError,
+    figure_for_campaign,
+    render_chart,
+    render_figure,
+    render_store,
+)
+from repro.analysis.regress import (
+    DEFAULT_REGRESS_METRICS,
+    BaselineError,
+    Finding,
+    RegressionReport,
+    compare,
+    compare_records,
+    freeze,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.report import (
+    comparison_table,
+    csv_table,
+    format_cell,
+    format_measure,
+    format_table,
+    markdown_table,
+    render,
+    summary_rows,
+)
+from repro.analysis.stats import (
+    Aggregate,
+    GroupSummary,
+    aggregate_records,
+    aggregate_rows,
+    t_critical,
+)
+
+__all__ = [
+    "FIGURES",
+    "Aggregate",
+    "BaselineError",
+    "DEFAULT_REGRESS_METRICS",
+    "FigureDef",
+    "FigureError",
+    "Finding",
+    "GroupSummary",
+    "RegressionReport",
+    "aggregate_records",
+    "aggregate_rows",
+    "compare",
+    "compare_records",
+    "comparison_table",
+    "csv_table",
+    "figure_for_campaign",
+    "format_cell",
+    "format_measure",
+    "format_table",
+    "freeze",
+    "load_baseline",
+    "markdown_table",
+    "render",
+    "render_chart",
+    "render_figure",
+    "render_store",
+    "save_baseline",
+    "summary_rows",
+    "t_critical",
+]

@@ -1,0 +1,472 @@
+"""Paper figures rendered as standalone SVG from stored campaign records.
+
+The paper's evaluation is figures 8-15 plus Table II — every one a
+cross-protocol comparison.  This module renders them from
+:class:`~repro.experiments.store.ResultStore` records (or in-memory campaign
+records) with 95%-CI error bars across repetitions, **without executing a
+single simulation**: the records are aggregated through
+:mod:`repro.analysis.stats` and drawn with a small pure-stdlib SVG line-chart
+kit (no matplotlib — the container has none, and SVG text diffs cleanly in
+review).
+
+Each :class:`FigureDef` names the campaign prefix it renders (``fig9`` for
+any campaign called ``fig9*``), the axes matching the corresponding
+``benchmarks/bench_*.py`` module, and how series are labelled from the
+records' params.  Campaigns without a registered figure fall back to a
+generic throughput chart, or to explicit ``x``/``y`` choices via the CLI
+(``python -m repro plot --x concurrency --y throughput_tps``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.stats import GroupSummary, aggregate_records
+
+#: Okabe-Ito colorblind-safe palette (series cycle through it).
+PALETTE = (
+    "#0072B2",  # blue
+    "#E69F00",  # orange
+    "#009E73",  # green
+    "#D55E00",  # vermillion
+    "#CC79A7",  # purple
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+)
+
+_FONT = "font-family=\"Helvetica,Arial,sans-serif\""
+
+
+class FigureError(ValueError):
+    """The records cannot be rendered with the requested figure definition."""
+
+
+@dataclass(frozen=True)
+class FigureDef:
+    """How one paper figure maps stored records onto chart axes."""
+
+    key: str
+    title: str
+    xlabel: str
+    ylabel: str
+    #: Params key giving a point's x value, or ``"metric:<name>"`` to plot
+    #: one measured metric against another (the throughput/latency curves).
+    x: str
+    #: Metric name giving a point's y value (error bars from its 95% CI).
+    y: str
+    #: Display scaling of the y metric (1e3 turns seconds into ms).
+    y_scale: float = 1.0
+    #: Params keys joined into the series label; ``None`` picks the first
+    #: present of ``_series`` / ``_label`` / ``_arm`` / ``protocol``.
+    series_keys: Optional[Tuple[str, ...]] = None
+    #: Plot the per-record throughput timeline instead of one point per group.
+    timeline: bool = False
+    #: Treat x values as category labels (evenly spaced, e.g. ablation arms).
+    categorical: bool = False
+
+
+#: The registered paper figures, keyed by campaign-name prefix.
+FIGURES: Dict[str, FigureDef] = {
+    fig.key: fig
+    for fig in (
+        FigureDef(
+            key="fig8",
+            title="Fig. 8 — model vs. implementation",
+            xlabel="arrival rate (Tx/s)", ylabel="mean latency (ms)",
+            x="arrival_rate", y="mean_latency", y_scale=1e3,
+            series_keys=("_config", "protocol"),
+        ),
+        FigureDef(
+            key="fig9",
+            title="Fig. 9 — throughput vs. latency by block size",
+            xlabel="throughput (Tx/s)", ylabel="mean latency (ms)",
+            x="metric:throughput_tps", y="mean_latency", y_scale=1e3,
+        ),
+        FigureDef(
+            key="fig10",
+            title="Fig. 10 — throughput vs. latency by payload size",
+            xlabel="throughput (Tx/s)", ylabel="mean latency (ms)",
+            x="metric:throughput_tps", y="mean_latency", y_scale=1e3,
+        ),
+        FigureDef(
+            key="fig11",
+            title="Fig. 11 — throughput vs. latency under added delay",
+            xlabel="throughput (Tx/s)", ylabel="mean latency (ms)",
+            x="metric:throughput_tps", y="mean_latency", y_scale=1e3,
+        ),
+        FigureDef(
+            key="fig12",
+            title="Fig. 12 — scalability",
+            xlabel="cluster size (replicas)", ylabel="throughput (Tx/s)",
+            x="num_nodes", y="throughput_tps",
+        ),
+        FigureDef(
+            key="fig13",
+            title="Fig. 13 — forking attack",
+            xlabel="Byzantine replicas", ylabel="chain growth rate",
+            x="byzantine_nodes", y="chain_growth_rate",
+        ),
+        FigureDef(
+            key="fig14",
+            title="Fig. 14 — silence attack",
+            xlabel="Byzantine replicas", ylabel="throughput (Tx/s)",
+            x="byzantine_nodes", y="throughput_tps",
+        ),
+        FigureDef(
+            key="fig15",
+            title="Fig. 15 — responsiveness timeline",
+            xlabel="time (s)", ylabel="throughput (Tx/s)",
+            x="time", y="throughput_tps", timeline=True,
+        ),
+        FigureDef(
+            key="table2",
+            title="Table II — arrival rate vs. throughput",
+            xlabel="arrival rate (Tx/s)", ylabel="throughput (Tx/s)",
+            x="arrival_rate", y="throughput_tps",
+        ),
+        FigureDef(
+            key="ablation",
+            title="Ablation — design choices",
+            xlabel="arm", ylabel="throughput (Tx/s)",
+            x="_arm", y="throughput_tps", categorical=True,
+        ),
+    )
+}
+
+_GENERIC = FigureDef(
+    key="generic",
+    title="campaign", xlabel="group", ylabel="throughput (Tx/s)",
+    x="", y="throughput_tps", categorical=True,
+)
+
+
+def figure_for_campaign(name: str) -> Optional[FigureDef]:
+    """The registered figure whose key prefixes the campaign name, if any."""
+    for key, fig in FIGURES.items():
+        if name == key or name.startswith(key):
+            return fig
+    return None
+
+
+# ----------------------------------------------------------------------
+# chart model
+# ----------------------------------------------------------------------
+@dataclass
+class ChartPoint:
+    x: float
+    y: float
+    err: float = 0.0
+
+
+@dataclass
+class ChartSeries:
+    label: str
+    points: List[ChartPoint] = field(default_factory=list)
+
+
+def _series_label(summary: GroupSummary, keys: Optional[Tuple[str, ...]]) -> str:
+    if keys is None:
+        for candidate in ("_series", "_label", "_arm", "protocol"):
+            if candidate in summary.params:
+                return str(summary.params[candidate])
+        return summary.label() or summary.campaign or "series"
+    present = [str(summary.params[k]) for k in keys if k in summary.params]
+    return " ".join(present) if present else summary.label()
+
+
+def build_series(
+    summaries: Sequence[GroupSummary], figure: FigureDef
+) -> Tuple[List[ChartSeries], List[str]]:
+    """Turn aggregated groups into chart series per the figure definition.
+
+    Returns ``(series, x_categories)`` — categories are empty for numeric x.
+    Points keep first-seen (expansion) order within each series, which is
+    what makes the throughput/latency curves trace the load sweep.
+    """
+    series: Dict[str, ChartSeries] = {}
+    categories: List[str] = []
+    skipped = 0
+    for summary in summaries:
+        if figure.timeline:
+            if not summary.timeline:
+                skipped += 1
+                continue
+            label = _series_label(summary, figure.series_keys)
+            line = series.setdefault(label, ChartSeries(label=label))
+            for t, mean, ci in summary.timeline:
+                line.points.append(ChartPoint(x=t, y=mean, err=ci))
+            continue
+
+        agg = summary.metrics.get(figure.y)
+        if agg is None:
+            skipped += 1
+            continue
+        shown = agg.scaled(figure.y_scale)
+
+        if figure.categorical:
+            category = str(summary.params.get(figure.x, summary.label())) if figure.x else summary.label()
+            if category not in categories:
+                categories.append(category)
+            x_value: float = float(categories.index(category))
+            label = figure.ylabel if figure.key in ("ablation", "generic") else _series_label(summary, figure.series_keys)
+        elif figure.x.startswith("metric:"):
+            x_metric = summary.metrics.get(figure.x[len("metric:"):])
+            if x_metric is None:
+                skipped += 1
+                continue
+            x_value = x_metric.mean
+            label = _series_label(summary, figure.series_keys)
+        else:
+            raw = summary.params.get(figure.x)
+            if not isinstance(raw, (int, float)) or isinstance(raw, bool):
+                skipped += 1
+                continue
+            x_value = float(raw)
+            label = _series_label(summary, figure.series_keys)
+
+        series.setdefault(label, ChartSeries(label=label)).points.append(
+            ChartPoint(x=x_value, y=shown.mean, err=shown.ci95)
+        )
+    if not series:
+        raise FigureError(
+            f"no plottable groups for figure {figure.key!r} "
+            f"({skipped} group(s) lacked {figure.x!r}/{figure.y!r})"
+        )
+    return list(series.values()), categories
+
+
+# ----------------------------------------------------------------------
+# SVG rendering (pure stdlib)
+# ----------------------------------------------------------------------
+def _escape(text: str) -> str:
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi] (classic nice-number steps)."""
+    if hi <= lo:
+        hi = lo + (abs(lo) or 1.0)
+    span = hi - lo
+    raw = span / max(target, 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    step = next(m * magnitude for m in (1.0, 2.0, 2.5, 5.0, 10.0) if m * magnitude >= raw)
+    first = math.floor(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + step * 1e-9:
+        ticks.append(0.0 if abs(value) < step * 1e-9 else value)
+        value += step
+    return ticks
+
+
+def _tick_label(value: float) -> str:
+    if value == int(value) and abs(value) < 1e7:
+        return str(int(value))
+    return f"{value:g}"
+
+
+def render_chart(
+    series: Sequence[ChartSeries],
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    x_categories: Sequence[str] = (),
+    width: int = 720,
+    height: int = 440,
+) -> str:
+    """Render chart series as a standalone SVG document (error bars + legend)."""
+    if not series or all(not s.points for s in series):
+        raise FigureError("nothing to render: every series is empty")
+    height = max(height, 140 + 18 * len(series))
+
+    xs = [p.x for s in series for p in s.points]
+    ys_lo = [p.y - p.err for s in series for p in s.points]
+    ys_hi = [p.y + p.err for s in series for p in s.points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys_lo)), max(ys_hi)
+    if x_hi == x_lo:
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+    if y_hi == y_lo:
+        y_hi = y_lo + (abs(y_lo) or 1.0)
+
+    left, right, top, bottom = 72, 200, 48, 64
+    plot_w, plot_h = width - left - right, height - top - bottom
+    if x_categories:
+        x_ticks = list(range(len(x_categories)))
+        x_lo, x_hi = -0.5, len(x_categories) - 0.5
+    else:
+        pad = 0.04 * (x_hi - x_lo)
+        x_lo, x_hi = x_lo - pad, x_hi + pad
+        x_ticks = [t for t in _nice_ticks(x_lo, x_hi) if x_lo <= t <= x_hi]
+    y_ticks = [t for t in _nice_ticks(y_lo, y_hi) if y_lo <= t <= y_hi * 1.001]
+    y_hi = max(y_hi, y_ticks[-1] if y_ticks else y_hi)
+
+    def sx(x: float) -> float:
+        return left + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return top + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    out: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{left}" y="24" {_FONT} font-size="15" font-weight="bold">'
+        f"{_escape(title)}</text>",
+    ]
+
+    # gridlines + axes + tick labels
+    for t in y_ticks:
+        y = sy(t)
+        out.append(f'<line x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" y2="{y:.1f}" '
+                   f'stroke="#dddddd" stroke-width="1"/>')
+        out.append(f'<text x="{left - 8}" y="{y + 4:.1f}" {_FONT} font-size="11" '
+                   f'text-anchor="end">{_escape(_tick_label(t))}</text>')
+    if x_categories:
+        for i, name in enumerate(x_categories):
+            x = sx(float(i))
+            shown = name if len(name) <= 20 else name[:19] + "…"
+            out.append(
+                f'<text x="{x:.1f}" y="{top + plot_h + 14}" {_FONT} font-size="10" '
+                f'text-anchor="end" transform="rotate(-20 {x:.1f} {top + plot_h + 14})">'
+                f"{_escape(shown)}</text>"
+            )
+    else:
+        for t in x_ticks:
+            x = sx(t)
+            out.append(f'<line x1="{x:.1f}" y1="{top + plot_h}" x2="{x:.1f}" '
+                       f'y2="{top + plot_h + 4}" stroke="#333333" stroke-width="1"/>')
+            out.append(f'<text x="{x:.1f}" y="{top + plot_h + 17}" {_FONT} font-size="11" '
+                       f'text-anchor="middle">{_escape(_tick_label(t))}</text>')
+    out.append(f'<line x1="{left}" y1="{top}" x2="{left}" y2="{top + plot_h}" '
+               f'stroke="#333333" stroke-width="1.2"/>')
+    out.append(f'<line x1="{left}" y1="{top + plot_h}" x2="{left + plot_w}" '
+               f'y2="{top + plot_h}" stroke="#333333" stroke-width="1.2"/>')
+    out.append(f'<text x="{left + plot_w / 2:.1f}" y="{height - 14}" {_FONT} '
+               f'font-size="12" text-anchor="middle">{_escape(xlabel)}</text>')
+    out.append(f'<text x="20" y="{top + plot_h / 2:.1f}" {_FONT} font-size="12" '
+               f'text-anchor="middle" transform="rotate(-90 20 {top + plot_h / 2:.1f})">'
+               f"{_escape(ylabel)}</text>")
+
+    # series: error band/bars, line, markers
+    dense_cutoff = 30
+    for index, line in enumerate(series):
+        color = PALETTE[index % len(PALETTE)]
+        points = line.points
+        if not points:
+            continue
+        dense = len(points) > dense_cutoff
+        if dense and any(p.err > 0 for p in points):
+            upper = " ".join(f"{sx(p.x):.1f},{sy(p.y + p.err):.1f}" for p in points)
+            lower = " ".join(f"{sx(p.x):.1f},{sy(p.y - p.err):.1f}" for p in reversed(points))
+            out.append(f'<polygon points="{upper} {lower}" fill="{color}" '
+                       f'fill-opacity="0.15" stroke="none"/>')
+        if len(points) > 1:
+            path = " ".join(f"{sx(p.x):.1f},{sy(p.y):.1f}" for p in points)
+            out.append(f'<polyline points="{path}" fill="none" stroke="{color}" '
+                       f'stroke-width="1.8"/>')
+        for p in points:
+            x, y = sx(p.x), sy(p.y)
+            if p.err > 0 and not dense:
+                y0, y1 = sy(p.y - p.err), sy(p.y + p.err)
+                out.append(f'<line x1="{x:.1f}" y1="{y0:.1f}" x2="{x:.1f}" y2="{y1:.1f}" '
+                           f'stroke="{color}" stroke-width="1.2"/>')
+                for cap in (y0, y1):
+                    out.append(f'<line x1="{x - 3:.1f}" y1="{cap:.1f}" x2="{x + 3:.1f}" '
+                               f'y2="{cap:.1f}" stroke="{color}" stroke-width="1.2"/>')
+            if not dense:
+                out.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="{color}"/>')
+
+    # legend
+    legend_x = left + plot_w + 16
+    for index, line in enumerate(series):
+        color = PALETTE[index % len(PALETTE)]
+        y = top + 8 + index * 18
+        out.append(f'<line x1="{legend_x}" y1="{y}" x2="{legend_x + 18}" y2="{y}" '
+                   f'stroke="{color}" stroke-width="2.5"/>')
+        out.append(f'<text x="{legend_x + 24}" y="{y + 4}" {_FONT} font-size="11">'
+                   f"{_escape(line.label)}</text>")
+
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# high-level entry points
+# ----------------------------------------------------------------------
+def render_figure(
+    records: Iterable[Dict[str, Any]],
+    figure: Optional[Union[FigureDef, str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render one campaign's records as an SVG figure.
+
+    ``figure`` may be a :class:`FigureDef`, a registry key (``"fig9"``), or
+    ``None`` to resolve from the records' campaign name (generic fallback
+    when nothing matches).  Records are aggregated first, so repetitions
+    become 95%-CI error bars; no simulation is ever executed.
+    """
+    records = list(records)
+    if not records:
+        raise FigureError("no records to render")
+    campaign = records[0].get("campaign", "")
+    if isinstance(figure, str):
+        if figure not in FIGURES:
+            raise FigureError(
+                f"unknown figure {figure!r}; known: {', '.join(sorted(FIGURES))}"
+            )
+        figure = FIGURES[figure]
+    if figure is None:
+        figure = figure_for_campaign(campaign) or replace(_GENERIC, title=campaign or "campaign")
+    summaries = aggregate_records(records)
+    series, categories = build_series(summaries, figure)
+    return render_chart(
+        series,
+        title=title or f"{figure.title} — {campaign}" if campaign and campaign != figure.title else (title or figure.title),
+        xlabel=figure.xlabel,
+        ylabel=figure.ylabel,
+        x_categories=categories,
+    )
+
+
+def render_store(
+    store,
+    out_dir: Union[str, Path],
+    campaigns: Optional[Sequence[str]] = None,
+    figure: Optional[Union[FigureDef, str]] = None,
+) -> List[Path]:
+    """Render every (selected) campaign in a result store to ``out_dir``.
+
+    Returns the written SVG paths, one per campaign with plottable records.
+    ``figure`` forces one definition for every selected campaign; by default
+    each campaign resolves through :func:`figure_for_campaign`.
+    """
+    out = Path(out_dir)
+    names: List[str] = []
+    for record in store:
+        name = record.get("campaign", "")
+        if name not in names:
+            names.append(name)
+    if campaigns:
+        missing = [c for c in campaigns if c not in names]
+        if missing:
+            raise FigureError(
+                f"campaign(s) not in store: {', '.join(missing)} "
+                f"(stored: {', '.join(names) or 'none'})"
+            )
+        names = list(campaigns)
+    written: List[Path] = []
+    out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        svg = render_figure(store.records(campaign=name), figure=figure)
+        path = out / f"{name or 'campaign'}.svg"
+        path.write_text(svg + "\n")
+        written.append(path)
+    return written

@@ -22,6 +22,11 @@ Everything a user script needs lives here::
                     block_size=[100, 400])
     result = api.campaign(spec, workers=4, store="results/")
 
+    # collapse repetitions into mean ± 95% CI and render paper figures,
+    # purely from stored records (no re-execution)
+    groups = api.aggregate("results/")
+    paths = api.plot("results/", out="figures/")
+
     # extend the framework: every extension point is a register_* decorator
     @api.register_protocol("myproto")
     class MyProtocolSafety(Safety): ...
@@ -58,6 +63,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.analysis import GroupSummary, aggregate_records, render_store
 from repro.bench.config import Configuration, ConfigurationError
 from repro.bench.runner import Cluster, ExperimentResult, build_cluster, run_experiment
 from repro.bench.sweeps import SweepPoint, saturation_sweep
@@ -89,15 +95,18 @@ __all__ = [
     "ConfigurationError",
     "ExperimentResult",
     "ExperimentSpec",
+    "GroupSummary",
     "ResultStore",
     "Scenario",
     "ScenarioResult",
     "SweepPoint",
+    "aggregate",
     "available",
     "build",
     "campaign",
     "grid",
     "load_config",
+    "plot",
     "register_client",
     "register_delay_model",
     "register_election",
@@ -251,6 +260,64 @@ def campaign(
             f"expected ExperimentSpec, dict, or path, got {type(spec).__name__}"
         )
     return CampaignRunner(spec, workers=workers, store=store, force=force).run()
+
+
+RecordsLike = Union[CampaignResult, ResultStore, Sequence[Dict], str, Path]
+
+
+def _coerce_records(source: RecordsLike, campaign: Optional[str] = None) -> List[Dict]:
+    if isinstance(source, CampaignResult):
+        records = source.records
+    elif isinstance(source, ResultStore):
+        records = source.records(campaign=campaign)
+        campaign = None
+    elif isinstance(source, (str, Path)):
+        records = ResultStore(source).records(campaign=campaign)
+        campaign = None
+    else:
+        records = list(source)
+    if campaign is not None:
+        records = [r for r in records if r.get("campaign") == campaign]
+    return list(records)
+
+
+def aggregate(
+    source: RecordsLike,
+    campaign: Optional[str] = None,
+    metrics: Optional[Sequence[str]] = None,
+) -> List[GroupSummary]:
+    """Collapse stored repetitions into mean / stddev / 95%-CI aggregates.
+
+    ``source`` may be a :class:`CampaignResult`, a :class:`ResultStore` (or
+    its directory path), or a plain list of record dicts; nothing is ever
+    re-executed.  Groups are the logical points of the campaign (params sans
+    the ``_repetition`` tag), in expansion order. ::
+
+        result = api.campaign(api.grid(base, protocol=["hotstuff", "2chainhs"],
+                                       repetitions=5), store="results/")
+        for group in api.aggregate(result):
+            tput = group.metric("throughput_tps")
+            print(group.label(), f"{tput.mean:.0f} ±{tput.ci95:.0f} Tx/s")
+    """
+    return aggregate_records(_coerce_records(source, campaign), metrics=metrics)
+
+
+def plot(
+    source: Union[ResultStore, str, Path],
+    out: Union[str, Path] = "figures",
+    campaigns: Optional[Sequence[str]] = None,
+    figure=None,
+) -> List[Path]:
+    """Render stored campaigns as standalone SVG figures (with error bars).
+
+    One SVG per campaign is written under ``out``; campaigns whose name
+    starts with a known figure key (``fig8``-``fig15``, ``table2``,
+    ``ablation``) get that paper figure's axes, others a generic chart (or
+    pass ``figure`` to force one).  Purely record-driven: the plot step
+    executes zero simulations.
+    """
+    store = source if isinstance(source, ResultStore) else ResultStore(source)
+    return render_store(store, out, campaigns=campaigns, figure=figure)
 
 
 def available(kind: Optional[str] = None) -> Union[Dict[str, List[str]], List[str]]:

@@ -89,15 +89,33 @@ class RunMetrics:
     blocks_truncated: int = 0
     snapshot_bytes_fetched: int = 0
     peak_forest_blocks: int = 0
+    #: Host-side performance of the run itself — wall-clock seconds the
+    #: simulation took and scheduler events processed per wall-clock second.
+    #: These measure the *simulator*, not the simulated system: they seed the
+    #: perf trajectory (``tools/perf_smoke.py``) that future speedups are
+    #: judged against.  Excluded from :meth:`to_dict`: they vary per host
+    #: and execution, and stored campaign records must stay bit-identical
+    #: across serial/parallel/resumed runs.  ``compare=False`` keeps two
+    #: runs with equal simulated outcomes equal regardless of host speed.
+    wall_clock_seconds: float = field(default=0.0, compare=False)
+    events_per_second: float = field(default=0.0, compare=False)
+
+    #: Fields that never enter the canonical record serialization.
+    PERF_FIELDS = ("wall_clock_seconds", "events_per_second")
 
     def to_dict(self) -> Dict[str, float]:
-        """Lossless JSON-compatible dict (raw field values, SI units).
+        """Lossless JSON-compatible dict of the *simulated* quantities.
 
         This is the serialization the campaign :class:`ResultStore` records;
-        :meth:`from_dict` inverts it exactly.  For the human-facing view with
-        millisecond conversions, see :meth:`as_dict`.
+        :meth:`from_dict` inverts it exactly.  Host-side perf fields
+        (:attr:`PERF_FIELDS`) are excluded to keep records deterministic;
+        the human-facing view with millisecond conversions is
+        :meth:`as_dict`.
         """
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        for name in self.PERF_FIELDS:
+            data.pop(name, None)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, float]) -> "RunMetrics":
@@ -127,6 +145,8 @@ class RunMetrics:
             "blocks_truncated": self.blocks_truncated,
             "snapshot_bytes_fetched": self.snapshot_bytes_fetched,
             "peak_forest_blocks": self.peak_forest_blocks,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "events_per_second": self.events_per_second,
         }
 
 

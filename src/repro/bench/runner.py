@@ -13,6 +13,7 @@ applies them to the cluster built here.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -246,15 +247,33 @@ def build_cluster(config: Configuration) -> Cluster:
     )
 
 
+def attach_host_perf(
+    metrics: RunMetrics, cluster: Cluster, elapsed: float
+) -> RunMetrics:
+    """Record how fast the *simulator* ran (wall clock, events/sec).
+
+    Host-side quantities live outside the canonical record serialization
+    (see :attr:`RunMetrics.PERF_FIELDS`); they feed ``tools/perf_smoke.py``
+    and the perf trajectory, not the stored campaign records.
+    """
+    metrics.wall_clock_seconds = elapsed
+    metrics.events_per_second = (
+        cluster.scheduler.processed_events / elapsed if elapsed > 0 else 0.0
+    )
+    return metrics
+
+
 def run_experiment(config: Configuration) -> ExperimentResult:
     """Build, start, and run one experiment; return its summarized result."""
     cluster = build_cluster(config)
+    started = time.perf_counter()
     cluster.start()
     cluster.run()
+    elapsed = time.perf_counter() - started
     observer = cluster.replicas[cluster.observer_id]
     return ExperimentResult(
         config=config,
-        metrics=cluster.metrics.summarize(),
+        metrics=attach_host_perf(cluster.metrics.summarize(), cluster, elapsed),
         consistent=cluster.consistency_check(),
         highest_view=observer.pacemaker.stats.highest_view,
         timeline=cluster.metrics.throughput_timeline(bucket=0.5, end=config.total_duration),

@@ -1,5 +1,17 @@
 """Execution layer: the in-memory key-value store applied on commit."""
 
-from repro.executor.kvstore import KeyValueStore
+from repro.executor.kvstore import (
+    DEFAULT_DEDUP_WINDOW,
+    DedupState,
+    KeyValueStore,
+    KVSnapshot,
+    TxidDedup,
+)
 
-__all__ = ["KeyValueStore"]
+__all__ = [
+    "DEFAULT_DEDUP_WINDOW",
+    "DedupState",
+    "KVSnapshot",
+    "KeyValueStore",
+    "TxidDedup",
+]

@@ -5,14 +5,164 @@ in-memory key-value store as the execution layer (§III-D).  The store applies
 committed transactions in commit order and remembers which transaction ids
 have been applied, which lets the replica avoid re-proposing transactions
 that already committed via another branch.
+
+Bounded dedup memory
+--------------------
+Remembering *every* applied txid forever is O(committed transactions) even
+after checkpointing bounded the forest.  :class:`TxidDedup` replaces the
+executor's unbounded set with
+per-client session tracking: a txid of the canonical ``tx-<client>-<seq>``
+shape is recorded as a sequence number in its client's session, and each
+session keeps only a bounded window of recent sequences plus a *floor* —
+every sequence at or below the floor is conservatively treated as already
+applied.  Duplicates always arrive close together (a transaction re-proposed
+from a forked block, or a client retry within its timeout), so dedup remains
+exact within the window; only a transaction committing more than a whole
+window of its client's later transactions *after* them could be mistaken —
+and the mistake is refusal to double-apply, never a double apply.  Because
+floors advance purely as a function of the applied history, which commit
+order makes identical on every honest replica, the state machine stays
+deterministic.  Txids outside the canonical shape (tests, custom clients)
+fall back to a bounded FIFO of raw ids.
+
+The index holds O(clients × window) entries, independent of run length —
+and snapshots (:class:`KVSnapshot`, shipped in ``SnapshotResponse``) shrink
+accordingly.  (The *replica's* reply-routing maps — ``_origin_clients`` /
+``_replied_txids`` — are a separate per-transaction structure and still
+grow with the run; bounding them the same way is a ROADMAP follow-up.)
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.types.transaction import Transaction
+
+#: Per-session (and extras) dedup window.  Duplicate applies can only arise
+#: within the uncommitted fork window plus client retry horizon — a few
+#: hundred transactions at the simulated scales — so 4096 is generous.
+DEFAULT_DEDUP_WINDOW = 4096
+
+
+def _parse_txid(txid: str) -> Optional[Tuple[str, int]]:
+    """Split a canonical ``tx-<client>-<seq>`` id into (client, seq)."""
+    if txid.startswith("tx-"):
+        head, _, tail = txid.rpartition("-")
+        if tail.isdigit() and len(head) > 3:
+            return head[3:], int(tail)
+    return None
+
+
+class _Session:
+    """One client's applied-sequence history: a floor plus recent window."""
+
+    __slots__ = ("floor", "pending")
+
+    def __init__(self, floor: int = -1, pending: Optional[Set[int]] = None) -> None:
+        #: Every sequence <= floor counts as applied (conservative).
+        self.floor = floor
+        #: Applied sequences above the floor (the exact recent window).
+        self.pending: Set[int] = pending if pending is not None else set()
+
+    def __contains__(self, seq: int) -> bool:
+        return seq <= self.floor or seq in self.pending
+
+    def add(self, seq: int, window: int) -> bool:
+        """Record one applied sequence; False if it already counted as applied."""
+        if seq in self:
+            return False
+        self.pending.add(seq)
+        if len(self.pending) > window:
+            # Keep the most recent half exactly; everything at or below the
+            # new floor becomes "applied" by fiat.  Amortized O(1) per add.
+            ordered = sorted(self.pending)
+            dropped = ordered[: len(ordered) - window // 2]
+            self.floor = dropped[-1]
+            self.pending = set(ordered[len(dropped):])
+        return True
+
+
+@dataclass(frozen=True)
+class DedupState:
+    """Immutable, serialization-friendly copy of a :class:`TxidDedup`.
+
+    ``sessions`` holds ``(client, floor, sorted pending sequences)`` rows in
+    client order; ``extras`` the non-canonical txids in insertion order.
+    Two replicas with equal applied history produce byte-identical states.
+    """
+
+    sessions: Tuple[Tuple[str, int, Tuple[int, ...]], ...]
+    extras: Tuple[str, ...]
+
+    @property
+    def entry_count(self) -> int:
+        """Entries a serialized snapshot ships (for wire-size accounting):
+        one per tracked sequence, one floor per session, one per extra id."""
+        return len(self.extras) + sum(1 + len(pending) for _, _, pending in self.sessions)
+
+
+class TxidDedup:
+    """Bounded-memory applied-transaction index (see module docstring)."""
+
+    def __init__(self, window: int = DEFAULT_DEDUP_WINDOW) -> None:
+        if window < 2:
+            raise ValueError(f"dedup window must be >= 2, got {window}")
+        self.window = window
+        self._sessions: Dict[str, _Session] = {}
+        #: FIFO of non-canonical txids; ids older than the window are
+        #: *forgotten* (they would re-apply), which only affects synthetic
+        #: ids — canonical client traffic always takes the session path.
+        self._extras: "OrderedDict[str, None]" = OrderedDict()
+
+    def __contains__(self, txid: str) -> bool:
+        parsed = _parse_txid(txid)
+        if parsed is not None:
+            client, seq = parsed
+            session = self._sessions.get(client)
+            return session is not None and seq in session
+        return txid in self._extras
+
+    def add(self, txid: str) -> bool:
+        """Record one applied txid; False if it already counted as applied."""
+        parsed = _parse_txid(txid)
+        if parsed is not None:
+            client, seq = parsed
+            session = self._sessions.get(client)
+            if session is None:
+                session = self._sessions[client] = _Session()
+            return session.add(seq, self.window)
+        if txid in self._extras:
+            return False
+        self._extras[txid] = None
+        while len(self._extras) > self.window:
+            self._extras.popitem(last=False)
+        return True
+
+    def entry_count(self) -> int:
+        """Sequences + floors + extras currently held (the memory bound)."""
+        return len(self._extras) + sum(
+            1 + len(s.pending) for s in self._sessions.values()
+        )
+
+    def state(self) -> DedupState:
+        """Freeze into an immutable :class:`DedupState` (canonical order)."""
+        return DedupState(
+            sessions=tuple(
+                (client, session.floor, tuple(sorted(session.pending)))
+                for client, session in sorted(self._sessions.items())
+            ),
+            extras=tuple(self._extras),
+        )
+
+    def restore(self, state: DedupState) -> None:
+        """Replace the index's content with a frozen state."""
+        self._sessions = {
+            client: _Session(floor=floor, pending=set(pending))
+            for client, floor, pending in state.sessions
+        }
+        self._extras = OrderedDict((txid, None) for txid in state.extras)
 
 
 @dataclass(frozen=True)
@@ -20,12 +170,13 @@ class KVSnapshot:
     """An immutable copy of the executor state at a committed height.
 
     Taken by the checkpoint subsystem (:mod:`repro.checkpoint`) and shipped
-    inside ``SnapshotResponse`` messages; ``items`` is sorted so two replicas
-    with equal state produce byte-identical snapshots.
+    inside ``SnapshotResponse`` messages; ``items`` is sorted and ``dedup``
+    canonically ordered, so two replicas with equal state produce
+    byte-identical snapshots.
     """
 
     items: Tuple[Tuple[str, str], ...]
-    applied_txids: FrozenSet[str]
+    dedup: DedupState
     operations_applied: int
 
     @property
@@ -37,9 +188,9 @@ class KVSnapshot:
 class KeyValueStore:
     """Deterministic key-value state machine."""
 
-    def __init__(self) -> None:
+    def __init__(self, dedup_window: int = DEFAULT_DEDUP_WINDOW) -> None:
         self._data: Dict[str, str] = {}
-        self._applied: Set[str] = set()
+        self._applied = TxidDedup(window=dedup_window)
         self.operations_applied = 0
 
     def apply(self, transaction: Transaction) -> Optional[str]:
@@ -49,9 +200,8 @@ class KeyValueStore:
         transaction that appears both in a forked block and in the main chain
         only takes effect once.
         """
-        if transaction.txid in self._applied:
+        if not self._applied.add(transaction.txid):
             return None
-        self._applied.add(transaction.txid)
         self.operations_applied += 1
         if transaction.operation == "put":
             self._data[transaction.key] = transaction.value
@@ -71,18 +221,22 @@ class KeyValueStore:
         """True if the transaction id has already been executed."""
         return txid in self._applied
 
+    def dedup_entries(self) -> int:
+        """Dedup-index entries currently held (bounded, see module docs)."""
+        return self._applied.entry_count()
+
     def snapshot(self) -> KVSnapshot:
         """Copy the current state into an immutable :class:`KVSnapshot`."""
         return KVSnapshot(
             items=tuple(sorted(self._data.items())),
-            applied_txids=frozenset(self._applied),
+            dedup=self._applied.state(),
             operations_applied=self.operations_applied,
         )
 
     def restore(self, snapshot: KVSnapshot) -> None:
         """Replace the store's state with ``snapshot`` (checkpoint install)."""
         self._data = dict(snapshot.items)
-        self._applied = set(snapshot.applied_txids)
+        self._applied.restore(snapshot.dedup)
         self.operations_applied = snapshot.operations_applied
 
     def state_digest(self) -> int:

@@ -31,7 +31,12 @@ from repro.experiments.spec import (
     SpecError,
     run_key,
 )
-from repro.experiments.store import ResultStore, StoreError, encode_record
+from repro.experiments.store import (
+    ResultStore,
+    StoreError,
+    TruncatedRecordWarning,
+    encode_record,
+)
 
 __all__ = [
     "DEFAULT_BUCKET",
@@ -42,6 +47,7 @@ __all__ = [
     "RunSpec",
     "SpecError",
     "StoreError",
+    "TruncatedRecordWarning",
     "encode_record",
     "execute_payload",
     "run_campaign",

@@ -1,17 +1,23 @@
-"""The ``python -m repro`` command line: run, campaign, sweep, list.
+"""The ``python -m repro`` command line: run, campaign, analyze, list.
 
 Every subcommand is driven by the same JSON files the library consumes::
 
     python -m repro run experiment.json            # one experiment (+scenario)
     python -m repro campaign grid.json -w 4 -s out # a parallel, resumable grid
     python -m repro sweep config.json --concurrency 8,32,128
+    python -m repro report --store out             # aggregate: mean ± 95% CI
+    python -m repro plot --store out -o figures    # render paper figures (SVG)
+    python -m repro regress --store out -b base.json [--freeze]
     python -m repro list                           # extension points
     python -m repro list --store out               # stored campaign records
 
 ``run`` accepts either a flat configuration object or
 ``{"config": {...}, "scenario": {...}}``; ``campaign`` accepts an
 :class:`~repro.experiments.spec.ExperimentSpec` dict (optionally wrapped in
-``{"spec": {...}}``).  See ``docs/EXPERIMENTS.md`` for the schemas.
+``{"spec": {...}}``).  ``report``/``plot``/``regress`` consume **stored
+records only** — they never execute a simulation.  See
+``docs/EXPERIMENTS.md`` for the schemas and the aggregate-and-plot
+walkthrough.
 """
 
 from __future__ import annotations
@@ -20,8 +26,11 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+# Re-exported here for backwards compatibility: the canonical renderer
+# lives in the analysis subsystem now.
+from repro.analysis.report import format_cell, format_table  # noqa: F401
 from repro.bench.config import Configuration, ConfigurationError
 from repro.bench.runner import run_experiment
 from repro.bench.sweeps import saturation_sweep
@@ -30,32 +39,6 @@ from repro.experiments.spec import ExperimentSpec, SpecError
 from repro.experiments.store import ResultStore, StoreError
 from repro.plugins import RegistryError
 from repro.scenario import Scenario, ScenarioRunner
-
-
-def format_cell(value: Any) -> str:
-    """Render one table cell (None as '-', floats at two decimals)."""
-    if value is None:
-        return "-"
-    if isinstance(value, float):
-        return f"{value:.2f}"
-    return str(value)
-
-
-def format_table(rows: List[Dict[str, Any]], columns: Iterable[str]) -> str:
-    """Render rows as a fixed-width text table (header + one line per row).
-
-    This is the one table renderer; ``benchmarks/common.py`` delegates to it
-    for the paper-style tables.
-    """
-    columns = list(columns)
-    widths = {
-        c: max(len(c), *(len(format_cell(r.get(c))) for r in rows)) if rows else len(c)
-        for c in columns
-    }
-    lines = ["  ".join(c.ljust(widths[c]) for c in columns)]
-    for row in rows:
-        lines.append("  ".join(format_cell(row.get(c)).ljust(widths[c]) for c in columns))
-    return "\n".join(lines)
 
 
 def _load_json(path: str) -> Dict[str, Any]:
@@ -164,6 +147,113 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(path: str) -> ResultStore:
+    if not Path(path).is_dir():
+        raise SystemExit(f"error: no such result store: {path}")
+    return ResultStore(path)
+
+
+def _store_records(args: argparse.Namespace) -> List[Dict[str, Any]]:
+    store = _open_store(args.store)
+    records = store.records(campaign=args.campaign or None)
+    if not records:
+        which = f"campaign {args.campaign!r}" if args.campaign else "records"
+        raise SystemExit(f"error: no {which} in {store.path}")
+    return records
+
+
+def _parse_metrics(text: Optional[str]) -> Optional[List[str]]:
+    if not text:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import aggregate_records, comparison_table
+
+    metrics = _parse_metrics(args.metrics)
+    summaries = aggregate_records(_store_records(args), metrics=metrics)
+    if args.json:
+        print(json.dumps([s.to_dict() for s in summaries], indent=2))
+        return 0
+    print(comparison_table(summaries, metrics=metrics, fmt=args.format))
+    return 0
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    from repro.analysis import FigureDef, FigureError, render_store
+    from repro.analysis.figures import figure_for_campaign
+
+    store = _open_store(args.store)
+    figure = None
+    if args.x or args.y:
+        if not (args.x and args.y):
+            raise SystemExit("error: --x and --y must be given together")
+        if args.figure:
+            raise SystemExit("error: --figure conflicts with --x/--y "
+                             "(a registered figure already fixes its axes)")
+        figure = FigureDef(key="custom", title=args.campaign[0] if args.campaign else "campaign",
+                           xlabel=args.x, ylabel=args.y, x=args.x, y=args.y)
+    elif args.figure:
+        figure = args.figure
+    try:
+        written = render_store(store, args.out, campaigns=args.campaign or None,
+                               figure=figure)
+    except FigureError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    # Map output stems back to real campaign names (an unnamed campaign
+    # renders as "campaign.svg" but its records live under "").
+    stem_to_campaign: Dict[str, str] = {}
+    for record in store:
+        name = record.get("campaign", "")
+        stem_to_campaign.setdefault(name or "campaign", name)
+    for path in written:
+        name = stem_to_campaign.get(path.stem, path.stem)
+        records = store.records(campaign=name)
+        resolved = figure or figure_for_campaign(name)
+        key = resolved if isinstance(resolved, str) else (resolved.key if resolved else "generic")
+        print(f"wrote {path} ({key}, {len(records)} stored records, "
+              f"0 simulations executed)")
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        aggregate_records,
+        compare,
+        freeze,
+        load_baseline,
+        save_baseline,
+    )
+    from repro.analysis.regress import DEFAULT_REGRESS_METRICS, BaselineError
+
+    metrics = _parse_metrics(args.metrics) or list(DEFAULT_REGRESS_METRICS)
+    summaries = aggregate_records(_store_records(args))
+    if args.freeze:
+        path = save_baseline(args.baseline, freeze(summaries, metrics=metrics))
+        print(f"baseline frozen: {path} ({len(summaries)} group(s), "
+              f"{len(metrics)} metric(s))")
+        return 0
+    try:
+        baseline = load_baseline(args.baseline)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    report = compare(baseline, summaries, metrics=_parse_metrics(args.metrics),
+                     tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps({
+            "ok": report.ok,
+            "regressions": [f.describe() for f in report.regressions],
+            "missing": report.missing,
+            "compared_groups": report.compared_groups,
+        }, indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     if args.store:
         if not Path(args.store).is_dir():
@@ -237,6 +327,48 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes (default 1 = serial)")
     sweep_p.add_argument("--json", action="store_true", help="print raw JSON points")
     sweep_p.set_defaults(func=_cmd_sweep)
+
+    report_p = sub.add_parser(
+        "report", help="aggregate stored records into a comparison table"
+    )
+    report_p.add_argument("campaign", nargs="?", help="restrict to one campaign")
+    report_p.add_argument("-s", "--store", required=True, help="result store directory")
+    report_p.add_argument("-f", "--format", choices=["text", "markdown", "csv"],
+                          default="text", help="table format (default text)")
+    report_p.add_argument("-m", "--metrics",
+                          help="comma-separated metric names (default: headline set)")
+    report_p.add_argument("--json", action="store_true",
+                          help="print raw JSON group summaries")
+    report_p.set_defaults(func=_cmd_report)
+
+    plot_p = sub.add_parser(
+        "plot", help="render stored campaigns as SVG figures (no simulations)"
+    )
+    plot_p.add_argument("campaign", nargs="*",
+                        help="campaigns to render (default: every stored campaign)")
+    plot_p.add_argument("-s", "--store", required=True, help="result store directory")
+    plot_p.add_argument("-o", "--out", default="figures",
+                        help="output directory for SVG files (default figures/)")
+    plot_p.add_argument("--figure", help="force a registered figure key (e.g. fig9)")
+    plot_p.add_argument("--x", help="params key for the x axis (custom figures)")
+    plot_p.add_argument("--y", help="metric name for the y axis (custom figures)")
+    plot_p.set_defaults(func=_cmd_plot)
+
+    regress_p = sub.add_parser(
+        "regress", help="freeze a baseline or compare stored records against one"
+    )
+    regress_p.add_argument("campaign", nargs="?", help="restrict to one campaign")
+    regress_p.add_argument("-s", "--store", required=True, help="result store directory")
+    regress_p.add_argument("-b", "--baseline", required=True,
+                           help="baseline JSON file to write (--freeze) or compare against")
+    regress_p.add_argument("--freeze", action="store_true",
+                           help="write the baseline instead of comparing")
+    regress_p.add_argument("-m", "--metrics",
+                           help="comma-separated metric names (default: headline set)")
+    regress_p.add_argument("-t", "--tolerance", type=float, default=0.0,
+                           help="relative slack added to the CI test (default 0)")
+    regress_p.add_argument("--json", action="store_true", help="print raw JSON verdicts")
+    regress_p.set_defaults(func=_cmd_regress)
 
     list_p = sub.add_parser("list", help="list extension points or stored results")
     list_p.add_argument("kind", nargs="?",

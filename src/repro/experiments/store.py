@@ -25,6 +25,7 @@ in memory and left on disk until the next compact.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
@@ -33,6 +34,19 @@ RESULTS_FILENAME = "results.jsonl"
 
 class StoreError(ValueError):
     """A result store file is malformed or a record is unusable."""
+
+
+class TruncatedRecordWarning(UserWarning):
+    """The store's final JSONL line was partial (an interrupted write).
+
+    A worker killed mid-append leaves a half-written last line.  Loading
+    skips it with this warning instead of refusing the whole store — every
+    complete record stays usable, the skipped run re-executes on the next
+    campaign (its run_id is simply absent), and the next :meth:`compact`
+    rewrites the file without the partial line.  Corruption anywhere *but*
+    the final line is not a crash signature and still raises
+    :class:`StoreError`.
+    """
 
 
 def encode_record(record: Dict[str, Any]) -> str:
@@ -53,18 +67,43 @@ class ResultStore:
         #: Lines currently in the file (> len(self._records) when a forced
         #: re-run appended superseding records that compact() would fold).
         self._file_lines = 0
+        #: True when the file's tail is not newline-terminated (a killed
+        #: writer): appending would fuse the new record with the remnant,
+        #: so the first write rewrites the file from the complete records.
+        self._rewrite_on_add = False
         # Opening is read-only: the directory is only created on the first
         # write, so e.g. listing a mistyped store path cannot scaffold it.
         if self.path.exists():
             self._load()
 
     def _load(self) -> None:
-        for lineno, line in enumerate(self.path.read_text().splitlines(), start=1):
+        content = self.path.read_text()
+        # A tail without its trailing newline (whatever survived of the last
+        # write) must not be appended onto: the first add() rewrites the
+        # file from the complete records instead (opening stays read-only).
+        self._rewrite_on_add = bool(content) and not content.endswith("\n")
+        lines = content.splitlines()
+        for lineno, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    # A killed worker's partial final append: skip it (the
+                    # run re-executes on resume) but count the line so the
+                    # next compact() rewrites the file without it.
+                    warnings.warn(
+                        f"{self.path}:{lineno}: skipping truncated final "
+                        f"record ({exc}); the run will re-execute on resume",
+                        TruncatedRecordWarning,
+                        stacklevel=3,
+                    )
+                    self._file_lines += 1
+                    # However the junk is terminated, never append after
+                    # it: that would strand it mid-file for the next load.
+                    self._rewrite_on_add = True
+                    continue
                 raise StoreError(f"{self.path}:{lineno}: not valid JSON: {exc}") from exc
             if "run_id" not in record:
                 raise StoreError(f"{self.path}:{lineno}: record has no run_id")
@@ -111,6 +150,17 @@ class ResultStore:
         if "run_id" not in record:
             raise StoreError("record has no run_id")
         self.root.mkdir(parents=True, exist_ok=True)
+        if self._rewrite_on_add:
+            # Heal a truncated tail before the first append: rewriting from
+            # the complete records drops the remnant, so a crash between now
+            # and compact() cannot leave corruption mid-file.
+            self._remember(record)
+            self._rewrite_on_add = False
+            self.path.write_text(
+                "".join(encode_record(r) + "\n" for r in self._records)
+            )
+            self._file_lines = len(self._records)
+            return
         with self.path.open("a") as handle:
             handle.write(encode_record(record) + "\n")
         self._file_lines += 1

@@ -24,12 +24,13 @@ metrics plus the throughput timeline the paper's Fig. 15 plots.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.config import Configuration
 from repro.bench.metrics import RunMetrics, timeline_mean
-from repro.bench.runner import Cluster, build_cluster
+from repro.bench.runner import Cluster, attach_host_perf, build_cluster
 from repro.scenario.events import ScenarioEvent
 
 
@@ -113,13 +114,15 @@ class ScenarioRunner:
         """Run the scenario to its horizon and summarize the outcome."""
         cluster = self.build()
         horizon = self.scenario.horizon(self.config)
+        started = time.perf_counter()
         cluster.start()
         cluster.run(until=horizon)
+        elapsed = time.perf_counter() - started
         observer = cluster.replicas[cluster.observer_id]
         return ScenarioResult(
             config=self.config,
             scenario=self.scenario,
-            metrics=cluster.metrics.summarize(),
+            metrics=attach_host_perf(cluster.metrics.summarize(), cluster, elapsed),
             timeline=cluster.metrics.throughput_timeline(bucket=self.bucket, end=horizon),
             consistent=cluster.consistency_check(),
             highest_view=observer.pacemaker.stats.highest_view,

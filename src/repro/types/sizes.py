@@ -75,7 +75,7 @@ class SizeModel:
             + len(checkpoint.committed_ids) * self.hash_size
             + len(state.items) * self.tx_header_size
             + state.payload_bytes
-            + len(state.applied_txids) * self.hash_size
+            + state.dedup.entry_count * self.hash_size
         )
 
     def snapshot_response_size(self, checkpoint=None) -> int:

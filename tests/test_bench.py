@@ -229,3 +229,36 @@ class TestRunnerAndSweeps:
         point = SweepPoint(1, 2500.0, 0.015, 0.02, 1.0, 3.0)
         assert point.throughput_ktps == pytest.approx(2.5)
         assert point.latency_ms == pytest.approx(15.0)
+
+
+class TestHostPerfMetrics:
+    """wall_clock_seconds / events_per_second: measured, but never stored."""
+
+    def test_run_experiment_measures_host_perf(self):
+        metrics = run_experiment(Configuration(**FAST)).metrics
+        assert metrics.wall_clock_seconds > 0
+        assert metrics.events_per_second > 0
+
+    def test_perf_fields_are_excluded_from_the_canonical_record(self):
+        metrics = run_experiment(Configuration(**FAST)).metrics
+        data = metrics.to_dict()
+        assert "wall_clock_seconds" not in data
+        assert "events_per_second" not in data
+        # ... but the human-facing view shows them.
+        assert metrics.as_dict()["wall_clock_seconds"] > 0
+
+    def test_equality_ignores_host_speed(self):
+        config = Configuration(**FAST)
+        first = run_experiment(config).metrics
+        second = run_experiment(config).metrics
+        # Wall clocks almost surely differ between the two executions, yet
+        # the simulated outcomes compare equal (perf fields are compare=False).
+        assert first == second
+
+    def test_scenario_runner_measures_host_perf(self):
+        from repro.scenario import Scenario, ScenarioRunner
+
+        scenario = Scenario(events=[])
+        metrics = ScenarioRunner(Configuration(**FAST), scenario).run().metrics
+        assert metrics.wall_clock_seconds > 0
+        assert metrics.events_per_second > 0

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.experiments.cli import main
-from repro.experiments.store import ResultStore
+from repro.experiments.store import ResultStore, TruncatedRecordWarning
 
 FAST = {
     "protocol": "hotstuff",
@@ -95,11 +95,28 @@ class TestCampaign:
         assert all(r["metrics"]["throughput_tps"] > 0 for r in records)
 
     def test_corrupt_store_fails_cleanly(self, tmp_path, capsys):
+        # Corruption before the final line is not a crash signature and
+        # still refuses the store.
         root = tmp_path / "store"
         root.mkdir()
-        (root / "results.jsonl").write_text("truncated junk\n")
+        (root / "results.jsonl").write_text('corrupt junk\n{"run_id": "ok"}\n')
         assert main(["list", "--store", str(root)]) == 1
         assert "not valid JSON" in capsys.readouterr().err
+
+    def test_truncated_store_tail_lists_surviving_records(self, tmp_path, capsys):
+        # A killed worker's partial final line: the CLI warns and serves
+        # every complete record instead of refusing the store.
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "results.jsonl").write_text(
+            '{"run_id": "ok", "campaign": "c", "params": {},'
+            ' "metrics": {"throughput_tps": 1.0}, "consistent": true}\n'
+            '{"run_id": "partial", "metr'
+        )
+        with pytest.warns(TruncatedRecordWarning):
+            assert main(["list", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "1 records" in out and "ok" in out
 
     def test_campaign_bad_spec_fails_cleanly(self, tmp_path, capsys):
         path = tmp_path / "bad.json"

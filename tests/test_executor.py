@@ -71,3 +71,88 @@ class TestKeyValueStore:
         store.apply(tx(operation="put", key="a", value="1", txid="t1"))
         store.apply(tx(operation="put", key="a", value="2", txid="t2"))
         assert store.get("a") == "2"
+
+
+class TestBoundedDedup:
+    """The applied-txid index holds bounded memory on runs of any length."""
+
+    def _tx(self, client, seq, key="k", value="v"):
+        return Transaction(txid=f"tx-{client}-{seq}", client_id=client,
+                           operation="put", key=key, value=value)
+
+    def test_dedup_correctness_within_the_window(self):
+        store = KeyValueStore(dedup_window=8)
+        for seq in range(8):
+            store.apply(self._tx("c0", seq, key=f"k{seq}"))
+        # Every id inside the window dedups exactly.
+        before = store.operations_applied
+        for seq in range(8):
+            store.apply(self._tx("c0", seq, key=f"k{seq}", value="dup"))
+        assert store.operations_applied == before
+        assert all(store.get(f"k{s}") == "v" for s in range(8))
+
+    def test_memory_stays_bounded_over_long_histories(self):
+        window = 64
+        store = KeyValueStore(dedup_window=window)
+        for seq in range(20_000):
+            store.apply(self._tx("c0", seq, key=f"k{seq % 16}"))
+        # O(window), not O(committed transactions).
+        assert store.dedup_entries() <= window + 1
+        assert store.operations_applied == 20_000
+        # Recent ids still dedup; the compacted floor is conservative:
+        # everything below it counts as applied (never double-applies).
+        assert store.was_applied("tx-c0-19999")
+        assert store.was_applied("tx-c0-1")
+        assert store.apply(self._tx("c0", 1)) is None
+        assert store.operations_applied == 20_000
+
+    def test_sessions_are_per_client(self):
+        store = KeyValueStore(dedup_window=8)
+        store.apply(self._tx("c0", 5))
+        assert store.was_applied("tx-c0-5")
+        assert not store.was_applied("tx-c1-5")
+
+    def test_interleaved_global_sequences(self):
+        # The global tx counter interleaves clients, so per-client sequences
+        # have gaps; gaps must not count as applied.
+        store = KeyValueStore(dedup_window=8)
+        store.apply(self._tx("c0", 0))
+        store.apply(self._tx("c1", 1))
+        store.apply(self._tx("c0", 2))
+        assert store.was_applied("tx-c0-0") and store.was_applied("tx-c0-2")
+        assert not store.was_applied("tx-c0-1")
+        assert not store.was_applied("tx-c1-0")
+
+    def test_non_canonical_txids_use_the_bounded_fifo(self):
+        store = KeyValueStore(dedup_window=4)
+        for i in range(4):
+            store.apply(tx(operation="put", key=f"k{i}", txid=f"custom-{i}!"))
+        assert store.was_applied("custom-0!")
+        store.apply(tx(operation="put", key="k5", txid="custom-5!"))
+        # FIFO bound: the oldest synthetic id is forgotten.
+        assert not store.was_applied("custom-0!")
+        assert store.was_applied("custom-5!")
+
+    def test_snapshot_round_trips_the_bounded_state(self):
+        store = KeyValueStore(dedup_window=16)
+        for seq in range(100):
+            store.apply(self._tx("c0", seq))
+        store.apply(tx(operation="put", key="x", txid="weird-id"))
+        clone = KeyValueStore(dedup_window=16)
+        clone.restore(store.snapshot())
+        assert clone.dedup_entries() == store.dedup_entries()
+        assert clone.was_applied("tx-c0-99")
+        assert clone.was_applied("tx-c0-0")  # below the floor: conservative
+        assert clone.was_applied("weird-id")
+        assert clone.snapshot() == store.snapshot()
+
+    def test_snapshots_of_equal_state_are_identical(self):
+        a, b = KeyValueStore(dedup_window=8), KeyValueStore(dedup_window=8)
+        for store in (a, b):
+            for seq in (3, 1, 2):
+                store.apply(self._tx("c0", seq))
+        assert a.snapshot() == b.snapshot()
+
+    def test_window_must_be_sane(self):
+        with pytest.raises(ValueError):
+            KeyValueStore(dedup_window=1)

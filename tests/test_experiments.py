@@ -20,6 +20,7 @@ from repro.experiments import (
     ResultStore,
     SpecError,
     StoreError,
+    TruncatedRecordWarning,
     encode_record,
     run_key,
     timeline_mean,
@@ -194,11 +195,81 @@ class TestResultStore:
             ResultStore(tmp_path / "s").add({"campaign": "c"})
 
     def test_rejects_corrupt_file(self, tmp_path):
+        # Corruption anywhere but the final line is not a crash signature
+        # (killed workers only ever truncate the tail) and still refuses
+        # the store.
         root = tmp_path / "s"
         root.mkdir()
-        (root / "results.jsonl").write_text("not json\n")
+        (root / "results.jsonl").write_text('not json\n{"run_id": "ok"}\n')
         with pytest.raises(StoreError, match="not valid JSON"):
             ResultStore(root)
+
+    def test_truncated_final_line_is_skipped_with_warning(self, tmp_path):
+        # A worker killed mid-append leaves a partial last line: loading
+        # keeps every complete record, warns, and compact() heals the file.
+        store = ResultStore(tmp_path / "s")
+        store.add({"run_id": "aaa", "v": 1})
+        store.add({"run_id": "bbb", "v": 2})
+        with store.path.open("a") as handle:
+            handle.write('{"run_id": "ccc", "v":')  # killed mid-write
+        with pytest.warns(TruncatedRecordWarning, match="truncated final record"):
+            reopened = ResultStore(tmp_path / "s")
+        assert reopened.keys() == ["aaa", "bbb"]
+        assert "ccc" not in reopened
+        reopened.compact()
+        assert len(reopened.path.read_text().splitlines()) == 2
+        # The healed file reloads silently.
+        assert ResultStore(tmp_path / "s").keys() == ["aaa", "bbb"]
+
+    def test_add_after_truncated_tail_never_fuses_lines(self, tmp_path):
+        # Appending onto a tail that lost its newline would fuse the new
+        # record with the remnant; the first add() must rewrite instead, so
+        # a crash *before* compact() still leaves a loadable file.
+        store = ResultStore(tmp_path / "s")
+        store.add({"run_id": "aaa"})
+        with store.path.open("a") as handle:
+            handle.write('{"run_id": "bbb", "v":')  # killed mid-write
+        with pytest.warns(TruncatedRecordWarning):
+            reopened = ResultStore(tmp_path / "s")
+        reopened.add({"run_id": "ccc"})
+        # No compact() ran: the file must already be clean.
+        assert ResultStore(tmp_path / "s").keys() == ["aaa", "ccc"]
+        lines = reopened.path.read_text().splitlines()
+        assert lines == [encode_record({"run_id": "aaa"}),
+                         encode_record({"run_id": "ccc"})]
+
+    def test_add_after_terminated_junk_tail_rewrites_too(self, tmp_path):
+        # A corrupt final line *with* its newline must equally not be
+        # stranded mid-file by a later append.
+        store = ResultStore(tmp_path / "s")
+        store.add({"run_id": "aaa"})
+        with store.path.open("a") as handle:
+            handle.write("junk tail\n")
+        with pytest.warns(TruncatedRecordWarning):
+            reopened = ResultStore(tmp_path / "s")
+        reopened.add({"run_id": "ccc"})
+        assert ResultStore(tmp_path / "s").keys() == ["aaa", "ccc"]
+
+    def test_resume_re_executes_the_truncated_point(self, tmp_path):
+        # End to end: a campaign's store loses its final record to a crash
+        # mid-write; resuming re-executes exactly that point and the store
+        # ends up whole again.
+        spec = ExperimentSpec(base=BASE, grid={"block_size": [20, 40]})
+        store_dir = tmp_path / "s"
+        first = CampaignRunner(spec, store=ResultStore(store_dir)).run()
+        assert first.executed == 2
+        path = store_dir / "results.jsonl"
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        with pytest.warns(TruncatedRecordWarning):
+            resumed_store = ResultStore(store_dir)
+        resumed = CampaignRunner(spec, store=resumed_store).run()
+        assert resumed.executed == 1
+        assert resumed.skipped == 1
+        assert resumed.records == first.records
+        # The re-executed record was re-appended; the file is whole again.
+        clean = ResultStore(store_dir)
+        assert sorted(clean.keys()) == sorted(first.records[i]["run_id"] for i in range(2))
 
     def test_superseding_add_is_append_and_compact_folds_it(self, tmp_path):
         store = ResultStore(tmp_path / "s")

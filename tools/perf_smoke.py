@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf smoke: measure the simulator's own speed, emit a BENCH_*.json summary.
+
+The simulated metrics in this repo are deterministic, but nothing so far
+recorded how *fast the simulator runs* — so there was no trajectory to judge
+future optimizations against.  This tool runs a small fixed workload per
+protocol, measures wall-clock time and scheduler events processed per
+second (the :attr:`RunMetrics.PERF_FIELDS` the runners now attach), and
+writes a ``BENCH_perf_smoke.json`` summary::
+
+    python tools/perf_smoke.py                      # writes BENCH_perf_smoke.json
+    python tools/perf_smoke.py --out my.json --repeats 3
+
+Each case reports the *best* of ``--repeats`` runs (the usual benchmarking
+convention: the minimum is the least-noisy estimate of the code's speed).
+Host timings are inherently machine-dependent; compare like with like.
+
+Exits non-zero only if a run fails outright or produces zero events — it is
+a measurement, not a gate.  CI runs it to publish the summary as an
+artifact; committed snapshots of it seed the perf trajectory future PRs can
+regress against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.config import Configuration  # noqa: E402
+from repro.bench.runner import run_experiment  # noqa: E402
+
+#: (case name, configuration) — a fixed, deterministic workload per case.
+#: Sized for a few seconds of wall clock total: enough events for a stable
+#: events/sec figure, small enough for every CI run.
+CASES = [
+    (
+        "hotstuff_n4_b400",
+        Configuration(protocol="hotstuff", num_nodes=4, block_size=400,
+                      payload_size=0, num_clients=2, concurrency=200,
+                      runtime=2.0, warmup=0.2, cooldown=0.2,
+                      cost_profile="standard", view_timeout=0.5,
+                      mempool_capacity=4000, seed=101),
+    ),
+    (
+        "streamlet_n4_b400",
+        Configuration(protocol="streamlet", num_nodes=4, block_size=400,
+                      payload_size=0, num_clients=2, concurrency=200,
+                      runtime=2.0, warmup=0.2, cooldown=0.2,
+                      cost_profile="standard", view_timeout=0.5,
+                      mempool_capacity=4000, seed=101),
+    ),
+    (
+        "hotstuff_n16_checkpointed",
+        Configuration(protocol="hotstuff", num_nodes=16, block_size=400,
+                      payload_size=128, num_clients=2, concurrency=200,
+                      runtime=1.0, warmup=0.2, cooldown=0.2,
+                      cost_profile="standard", view_timeout=1.0,
+                      mempool_capacity=4000, checkpoint_interval=50, seed=101),
+    ),
+]
+
+
+def measure(config: Configuration, repeats: int) -> dict:
+    """Run one case ``repeats`` times; report the fastest (least-noisy) run."""
+    best = None
+    for _ in range(repeats):
+        result = run_experiment(config)
+        metrics = result.metrics
+        if best is None or metrics.wall_clock_seconds < best["wall_clock_seconds"]:
+            best = {
+                "wall_clock_seconds": round(metrics.wall_clock_seconds, 4),
+                "events_per_second": round(metrics.events_per_second, 1),
+                "sim_seconds": round(config.total_duration, 4),
+                "sim_to_wall_ratio": round(
+                    config.total_duration / metrics.wall_clock_seconds, 3
+                ) if metrics.wall_clock_seconds > 0 else 0.0,
+                "committed_transactions": metrics.committed_transactions,
+                "throughput_tps": round(metrics.throughput_tps, 1),
+                "consistent": result.consistent,
+            }
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
+                                             / "BENCH_perf_smoke.json"),
+                        help="output JSON path (default: repo-root BENCH_perf_smoke.json)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="runs per case, best-of (default 2)")
+    args = parser.parse_args(argv)
+
+    results = {}
+    for name, config in CASES:
+        print(f"perf_smoke: {name} ...", flush=True)
+        case = measure(config, max(1, args.repeats))
+        if case["events_per_second"] <= 0:
+            print(f"error: {name} processed no events", file=sys.stderr)
+            return 1
+        results[name] = case
+        print(f"  {case['wall_clock_seconds']}s wall, "
+              f"{case['events_per_second']:.0f} events/s, "
+              f"sim/wall {case['sim_to_wall_ratio']}x")
+
+    summary = {
+        "benchmark": "perf_smoke",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "repeats": max(1, args.repeats),
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"perf_smoke: wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
