@@ -1,0 +1,122 @@
+"""Figure 8, measured axis — the protocol stack over real TCP vs. the model.
+
+``bench_fig8_model_vs_implementation`` compares the simulator against the
+*analytical* model; this module regenerates the figure's other axis: the same
+``Configuration`` is run in ``mode="model"`` (discrete-event, modeled crypto
+and network) and ``mode="deploy"`` (an asyncio TCP loopback cluster with real
+Ed25519 signing and measured wall-clock time, :mod:`repro.transport`).  Both
+runs emit identical campaign records, so with ``REPRO_BENCH_STORE`` set the
+stored campaign prefix-matches the ``fig8`` figure and ``python -m repro
+plot`` draws the measured and simulated latency curves of one configuration
+side by side — the paper's model-vs-implementation comparison, regenerated
+from actual runs of both.
+
+Deploy points cost real seconds of wall clock per point (the run *is* the
+measurement), so the grids stay small even at full scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import _pathfix  # noqa: F401
+
+from repro import api
+
+from common import bench_args, bench_scale, campaign_records, collapse_rows, report
+
+MODES = ["model", "deploy"]
+
+BASE_CONFIG = api.Configuration(
+    num_nodes=4,
+    block_size=50,
+    payload_size=0,
+    num_clients=2,
+    runtime=1.6,
+    warmup=0.4,
+    cooldown=0.2,
+    view_timeout=1.0,
+    request_timeout=2.0,
+    mempool_capacity=2000,
+    seed=13,
+)
+
+CI_PROTOCOLS = ["hotstuff"]
+FULL_PROTOCOLS = ["hotstuff", "2chainhs"]
+#: Open-loop arrival rates (Tx/s), sized to the loopback cluster's capacity
+#: with pure-Python Ed25519 (~60-70 committed Tx/s at n=4).
+CI_RATES = [20.0, 50.0]
+FULL_RATES = [15.0, 30.0, 45.0, 60.0]
+
+
+def spec(scale: str = "ci", reps: int = 1) -> api.ExperimentSpec:
+    """One point per (protocol, arrival rate, execution mode)."""
+    protocols = FULL_PROTOCOLS if scale == "full" else CI_PROTOCOLS
+    rates = FULL_RATES if scale == "full" else CI_RATES
+    points = []
+    for protocol in protocols:
+        for rate in rates:
+            for mode in MODES:
+                points.append(
+                    {
+                        "_config": f"{BASE_CONFIG.num_nodes}/{BASE_CONFIG.block_size}",
+                        "protocol": protocol,
+                        "arrival_rate": rate,
+                        "mode": mode,
+                    }
+                )
+    return api.ExperimentSpec(
+        name="fig8_impl", base=BASE_CONFIG, points=points, repetitions=reps,
+    )
+
+
+def run(scale: str = "ci", reps: int = 1) -> List[Dict]:
+    """Measure one grid in both execution modes and tabulate latency."""
+    rows = []
+    for record in campaign_records(spec(scale, reps)):
+        params = record["params"]
+        metrics = record["metrics"]
+        rows.append(
+            {
+                "config": params["_config"],
+                "protocol": params["protocol"],
+                "mode": params["mode"],
+                "arrival_tps": params["arrival_rate"],
+                "latency_ms": metrics["mean_latency"] * 1e3,
+                "tput_tps": metrics["throughput_tps"],
+                "consistent": record["consistent"],
+            }
+        )
+    return collapse_rows(rows, ["config", "protocol", "mode", "arrival_tps"], reps)
+
+
+def test_benchmark_fig8_impl(benchmark):
+    rows = benchmark.pedantic(run, args=(bench_scale(),), rounds=1, iterations=1)
+    report(
+        "fig8_impl",
+        "Figure 8: simulated vs. deployed (mean latency at open-loop arrival rates)",
+        rows,
+        ["config", "protocol", "mode", "arrival_tps", "latency_ms", "tput_tps"],
+    )
+    # Every run — simulated or over real sockets — must stay safe and commit.
+    assert all(r["consistent"] for r in rows)
+    assert all(r["tput_tps"] > 0 for r in rows)
+    assert all(r["latency_ms"] > 0 for r in rows)
+    # Both execution modes produced a curve for every (protocol, rate) point.
+    by_mode = {mode: [r for r in rows if r["mode"] == mode] for mode in MODES}
+    assert len(by_mode["model"]) == len(by_mode["deploy"]) > 0
+
+
+def main() -> None:
+    args = bench_args()
+    rows = run(args.scale, args.reps)
+    report(
+        "fig8_impl",
+        "Figure 8: simulated vs. deployed (mean latency at open-loop arrival rates)",
+        rows,
+        ["config", "protocol", "mode", "arrival_tps", "latency_ms", "tput_tps"],
+    )
+
+
+if __name__ == "__main__":
+    main()

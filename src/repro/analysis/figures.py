@@ -78,7 +78,10 @@ FIGURES: Dict[str, FigureDef] = {
             title="Fig. 8 — model vs. implementation",
             xlabel="arrival rate (Tx/s)", ylabel="mean latency (ms)",
             x="arrival_rate", y="mean_latency", y_scale=1e3,
-            series_keys=("_config", "protocol"),
+            # "mode" splits the simulated and deployed runs of one config
+            # into separate curves — the figure's model-vs-implementation
+            # axis regenerated from actual runs of both.
+            series_keys=("_config", "protocol", "mode"),
         ),
         FigureDef(
             key="fig9",

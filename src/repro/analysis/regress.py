@@ -6,9 +6,19 @@ frozen as JSON.  A later campaign over the same grid is compared group by
 group: a metric **regresses** when its new mean lands outside the wider of
 the two confidence intervals (plus an optional relative tolerance for
 unrepeated runs, whose CIs are degenerate).  The comparison is directionless
-on purpose — a metric that *improved* outside its CI is also flagged, since
+by default — a metric that *improved* outside its CI is also flagged, since
 for most of these metrics (chain growth rate, block interval, consistency)
 any unexplained movement means behaviour changed.
+
+Two refinements serve CI gating:
+
+* **per-metric tolerances** (``tolerances={"mean_latency": 0.1}``) override
+  the global relative tolerance for metrics with different noise floors;
+* **policies** make selected metrics one-sided.  ``"ratchet-up"`` (the
+  default for ``events_per_second``) flags only a *drop* beyond the allowed
+  slack: a perf win passes the gate — and CI latches it by re-freezing the
+  baseline — while a perf loss fails.  ``"ratchet-down"`` is the mirror for
+  metrics where smaller is better.
 
 ``python -m repro regress`` wires this up: ``--freeze`` writes the baseline,
 a later invocation compares and exits non-zero when anything moved.
@@ -35,6 +45,17 @@ DEFAULT_REGRESS_METRICS = (
     "chain_growth_rate",
     "block_interval",
 )
+
+#: Comparison policies.  "two-sided" flags any movement beyond the allowed
+#: slack; "ratchet-up" flags only drops (bigger is better, wins latch);
+#: "ratchet-down" flags only rises (smaller is better).
+POLICIES = ("two-sided", "ratchet-up", "ratchet-down")
+
+#: Per-metric policy defaults.  Host-perf throughput is the one metric where
+#: improvement is never suspicious — only a slowdown should fail a gate.
+DEFAULT_POLICIES = {
+    "events_per_second": "ratchet-up",
+}
 
 
 class BaselineError(ValueError):
@@ -98,18 +119,30 @@ class Finding:
     #: The movement the CIs (and tolerance) allowed without flagging.
     allowed: float
     regressed: bool
+    #: The comparison policy this finding was judged under.
+    policy: str = "two-sided"
 
     @property
     def delta(self) -> float:
         return self.current.mean - self.baseline.mean
 
+    @property
+    def improved(self) -> bool:
+        """True when a ratcheted metric moved in its good direction."""
+        if self.policy == "ratchet-up":
+            return self.delta > self.allowed
+        if self.policy == "ratchet-down":
+            return -self.delta > self.allowed
+        return False
+
     def describe(self) -> str:
         label = " ".join(f"{k.lstrip('_')}={v}" for k, v in self.params.items()) or "-"
         direction = "rose" if self.delta > 0 else "fell"
+        note = "" if self.policy == "two-sided" else f", policy {self.policy}"
         return (
             f"{self.campaign} [{label}] {self.metric}: "
             f"{self.baseline.mean:.4g} -> {self.current.mean:.4g} "
-            f"({direction} by {abs(self.delta):.4g}, allowed ±{self.allowed:.4g})"
+            f"({direction} by {abs(self.delta):.4g}, allowed ±{self.allowed:.4g}{note})"
         )
 
 
@@ -129,6 +162,11 @@ class RegressionReport:
         return [f for f in self.findings if f.regressed]
 
     @property
+    def improvements(self) -> List[Finding]:
+        """Ratcheted metrics that beat their baseline (worth re-freezing)."""
+        return [f for f in self.findings if f.improved]
+
+    @property
     def ok(self) -> bool:
         """True when nothing moved outside its CI and no group disappeared."""
         return not self.regressions and not self.missing
@@ -141,6 +179,8 @@ class RegressionReport:
         ]
         for finding in self.regressions:
             lines.append(f"  REGRESSED  {finding.describe()}")
+        for finding in self.improvements:
+            lines.append(f"  improved   {finding.describe()}")
         for key in self.missing:
             lines.append(f"  MISSING    baseline group not in records: {key}")
         for key in self.unmatched:
@@ -155,18 +195,36 @@ def compare(
     summaries: Sequence[GroupSummary],
     metrics: Optional[Sequence[str]] = None,
     tolerance: float = 0.0,
+    tolerances: Optional[Dict[str, float]] = None,
+    policies: Optional[Dict[str, str]] = None,
 ) -> RegressionReport:
     """Compare aggregated summaries against a frozen baseline.
 
-    A metric is flagged when ``|new mean - old mean|`` exceeds
-    ``max(old ci95, new ci95, tolerance * |old mean|)`` — i.e. it moved
-    outside both runs' 95% confidence intervals.  ``tolerance`` is the
-    relative slack that keeps single-repetition baselines (degenerate CIs)
-    usable; leave it 0 for strict repeated-run comparisons.
+    A metric is flagged when its mean moves beyond
+    ``max(old ci95, new ci95, tol * |old mean|)`` where ``tol`` is the
+    metric's entry in ``tolerances`` (falling back to the global
+    ``tolerance``) — i.e. it moved outside both runs' 95% confidence
+    intervals.  Tolerance is the relative slack that keeps
+    single-repetition baselines (degenerate CIs) usable; leave it 0 for
+    strict repeated-run comparisons.
+
+    ``policies`` maps metric names to one of :data:`POLICIES`; metrics
+    absent from it use :data:`DEFAULT_POLICIES`, then "two-sided".  Under a
+    ratchet policy only movement in the bad direction flags.
     """
     chosen = list(metrics) if metrics is not None else list(
         baseline.get("metrics", DEFAULT_REGRESS_METRICS)
     )
+    tolerances = tolerances or {}
+    effective_policies = dict(DEFAULT_POLICIES)
+    if policies:
+        effective_policies.update(policies)
+    for name, policy in effective_policies.items():
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r} for metric {name!r}; "
+                f"expected one of {POLICIES}"
+            )
     current = {_params_key(s.campaign, s.params): s for s in summaries}
     report = RegressionReport()
     seen = set()
@@ -184,7 +242,16 @@ def compare(
             if frozen is None or agg is None:
                 continue
             base = Aggregate.from_dict(frozen)
-            allowed = max(base.ci95, agg.ci95, tolerance * abs(base.mean))
+            tol = tolerances.get(name, tolerance)
+            allowed = max(base.ci95, agg.ci95, tol * abs(base.mean))
+            policy = effective_policies.get(name, "two-sided")
+            delta = agg.mean - base.mean
+            if policy == "ratchet-up":
+                regressed = -delta > allowed
+            elif policy == "ratchet-down":
+                regressed = delta > allowed
+            else:
+                regressed = abs(delta) > allowed
             report.findings.append(
                 Finding(
                     campaign=summary.campaign,
@@ -193,7 +260,8 @@ def compare(
                     baseline=base,
                     current=agg,
                     allowed=allowed,
-                    regressed=abs(agg.mean - base.mean) > allowed,
+                    regressed=regressed,
+                    policy=policy,
                 )
             )
     report.unmatched = [key for key in current if key not in seen]
@@ -205,7 +273,10 @@ def compare_records(
     records: Sequence[Dict[str, Any]],
     metrics: Optional[Sequence[str]] = None,
     tolerance: float = 0.0,
+    tolerances: Optional[Dict[str, float]] = None,
+    policies: Optional[Dict[str, str]] = None,
 ) -> RegressionReport:
     """:func:`compare`, but straight from raw campaign/store records."""
     return compare(baseline, aggregate_records(records), metrics=metrics,
-                   tolerance=tolerance)
+                   tolerance=tolerance, tolerances=tolerances,
+                   policies=policies)

@@ -16,6 +16,10 @@ Everything a user script needs lives here::
     # sweep client load to a latency/throughput curve
     points = api.sweep(config, concurrency_levels=[8, 32, 128])
 
+    # the same protocol stack over real asyncio TCP with Ed25519 signing
+    # (the "implementation" axis of fig. 8; same result schema as api.run)
+    result = api.deploy({"protocol": "hotstuff", "num_nodes": 4, "runtime": 2.0})
+
     # declare a whole experiment grid and run it as a campaign — in
     # parallel worker processes, resumable through a result store
     spec = api.grid(config, protocol=["hotstuff", "2chainhs"],
@@ -104,6 +108,7 @@ __all__ = [
     "available",
     "build",
     "campaign",
+    "deploy",
     "grid",
     "load_config",
     "plot",
@@ -177,6 +182,27 @@ def run(
     if declarative is None:
         return run_experiment(coerced)
     return ScenarioRunner(coerced, declarative, bucket=bucket).run()
+
+
+def deploy(config: ConfigLike, host: str = "127.0.0.1") -> ExperimentResult:
+    """Run one experiment in deployment mode: real TCP, real signing.
+
+    The identical protocol stack (safety rules, pacemaker, quorum logic,
+    mempool, clients) runs over asyncio loopback sockets with length-prefixed
+    JSON frames and Ed25519 vote signatures instead of the simulated network
+    and cost model.  Returns the same :class:`ExperimentResult` record shape
+    as :func:`run`, so stored model and deploy runs plot onto one figure
+    (the fig. 8 "simulated vs. implementation" comparison).
+
+    Equivalent to ``api.run({**config, "mode": "deploy"})``; the transport
+    runtime is imported lazily so model-only users never touch asyncio.
+    """
+    from repro.transport.runtime import run_deployment
+
+    coerced = _coerce_config(config)
+    if coerced.mode != "deploy":
+        coerced = coerced.replace(mode="deploy")
+    return run_deployment(coerced, host=host)
 
 
 def sweep(

@@ -119,6 +119,17 @@ class Configuration:
     #: Cost profile name ("standard", "fast", "ohs") — see bench.profiles.
     cost_profile: str = "standard"
 
+    # --- execution mode --------------------------------------------------
+    #: "model" runs the discrete-event simulation; "deploy" runs the same
+    #: protocol stack over real asyncio TCP with wall-clock timers (see
+    #: :mod:`repro.transport`).  One configuration can run both, which is
+    #: what regenerates the paper's model-vs-implementation fig8.
+    mode: str = "model"
+    #: Signing scheme: "hmac" (simulated tags, crypto cost modeled),
+    #: "ed25519" (real signatures, crypto cost measured), or "auto" —
+    #: hmac in model mode, ed25519 in deploy mode.
+    signing: str = "auto"
+
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("num_nodes must be at least 1")
@@ -147,6 +158,12 @@ class Configuration:
         if self.client != "auto":
             return self.client
         return "poisson" if self.arrival_rate > 0 else "closed-loop"
+
+    def resolved_signing(self) -> str:
+        """The effective signing scheme once ``"auto"`` is resolved."""
+        if self.signing != "auto":
+            return self.signing
+        return "ed25519" if self.mode == "deploy" else "hmac"
 
     def byzantine_ids(self) -> List[str]:
         """Ids of the Byzantine replicas (the highest-numbered ones).
@@ -237,6 +254,18 @@ class Configuration:
                 f"cost_profile: unknown profile {self.cost_profile!r}; "
                 f"available: {', '.join(available_profiles())}"
             )
+        if self.mode not in ("model", "deploy"):
+            problems.append(
+                f"mode: unknown mode {self.mode!r}; expected 'model' or 'deploy'"
+            )
+        if self.signing != "auto":
+            from repro.crypto.keys import available_schemes
+
+            if self.signing not in available_schemes():
+                problems.append(
+                    f"signing: unknown scheme {self.signing!r}; "
+                    f"available: auto, {', '.join(available_schemes())}"
+                )
 
         positives = [
             ("num_clients", self.num_clients),

@@ -23,6 +23,11 @@ Profiles
     The "original HotStuff" baseline of Fig. 9: the standard profile with a
     slightly cheaper request path, modelling the paper's explanation of the
     small gap (TCP ingest instead of HTTP, different batching, C++ vs Go).
+``measured``
+    All-zero modeled costs.  Used by the deployment runtime
+    (:mod:`repro.transport`), where signing, verification, and serialization
+    are *real* work on the wall clock — charging modeled CPU costs on top
+    would double-count them.
 """
 
 from __future__ import annotations
@@ -42,10 +47,13 @@ _STANDARD = CryptoCostModel(
 
 _OHS = _STANDARD.scaled(0.88)
 
+_MEASURED = _FAST.scaled(0.0)
+
 _PROFILES = {
     "fast": _FAST,
     "standard": _STANDARD,
     "ohs": _OHS,
+    "measured": _MEASURED,
 }
 
 

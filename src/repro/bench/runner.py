@@ -147,8 +147,18 @@ class ExperimentResult:
 
 
 def build_cluster(config: Configuration) -> Cluster:
-    """Wire up a cluster (replicas, clients, network, metrics) per ``config``."""
+    """Wire up a *simulated* cluster (replicas, clients, network, metrics).
+
+    Deployment-mode configurations are built by
+    :class:`repro.transport.runtime.DeploymentRunner` instead; this builder
+    rejects them rather than silently simulating.
+    """
     config.validate()
+    if config.mode != "model":
+        raise ValueError(
+            f"build_cluster is the simulation builder (mode='model'); "
+            f"got mode={config.mode!r} — use repro.transport.runtime"
+        )
     scheduler = EventScheduler()
     streams = RandomStreams(seed=config.seed)
     base_delay = NormalDelay(config.base_delay_mean, config.base_delay_stddev)
@@ -264,7 +274,18 @@ def attach_host_perf(
 
 
 def run_experiment(config: Configuration) -> ExperimentResult:
-    """Build, start, and run one experiment; return its summarized result."""
+    """Build, start, and run one experiment; return its summarized result.
+
+    Dispatches on ``config.mode``: "model" runs the discrete-event simulation
+    here; "deploy" hands the same configuration to the real-transport runtime
+    (:mod:`repro.transport`), which returns a result with the identical
+    record schema.  Imported lazily so the simulation never loads asyncio
+    machinery.
+    """
+    if config.mode == "deploy":
+        from repro.transport.runtime import run_deployment
+
+        return run_deployment(config)
     cluster = build_cluster(config)
     started = time.perf_counter()
     cluster.start()

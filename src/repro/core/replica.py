@@ -30,13 +30,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from collections import OrderedDict
+
 from repro.checkpoint.manager import CheckpointManager, CheckpointSettings
 from repro.core.dispatch import dispatch
 from repro.crypto.costs import CryptoCostModel
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import sign
 from repro.election.election import LeaderElection
-from repro.executor.kvstore import KeyValueStore
+from repro.executor.kvstore import DEFAULT_DEDUP_WINDOW, KeyValueStore, TxidDedup
 from repro.forest.forest import BlockForest, ForestError
 from repro.mempool.mempool import Mempool
 from repro.network.network import Network
@@ -70,6 +72,50 @@ from repro.types.transaction import Transaction
 CLIENT_REQUEST_CPU_COST = 5e-6
 #: CPU time charged for processing a loopback copy of the replica's own message.
 LOOPBACK_CPU_COST = 1e-6
+#: Bound on reply-routing entries (txid -> client) held per replica.  An
+#: entry lives from request arrival to commit reply — the in-flight window —
+#: so the bound only needs to exceed mempool capacity plus the uncommitted
+#: tail; evicting beyond it merely skips a reply, and the client's timeout
+#: path re-submits (exactly as it does for a reply lost to a crash).
+ORIGIN_INDEX_CAPACITY = 8192
+
+
+class OriginIndex:
+    """Bounded txid -> client-id map for reply routing.
+
+    The last unbounded replica-side structure after PR 5's ``TxidDedup``
+    work: without a bound, one entry per distinct client request accumulates
+    for the whole run.  FIFO eviction is the right policy because entries are
+    only useful while their transaction is in flight; a committed
+    transaction's entry is popped eagerly in ``Replica._reply``.
+    """
+
+    def __init__(self, capacity: int = ORIGIN_INDEX_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+
+    def __setitem__(self, txid: str, client: str) -> None:
+        entries = self._entries
+        if txid in entries:
+            # A retry refreshes both the routing target and the entry's age.
+            entries.pop(txid)
+        entries[txid] = client
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def get(self, txid: str) -> Optional[str]:
+        return self._entries.get(txid)
+
+    def pop(self, txid: str, default: Optional[str] = None) -> Optional[str]:
+        return self._entries.pop(txid, default)
+
+    def __contains__(self, txid: str) -> bool:
+        return txid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass
@@ -190,9 +236,12 @@ class Replica:
         )
         self.stats = ReplicaStats()
 
-        self._origin_clients: Dict[str, str] = {}
+        # Reply routing is bounded: the origin index FIFO-evicts beyond its
+        # capacity and the replied-txid dedup keeps per-client floors plus a
+        # recent window (same treatment as the executor's applied index).
+        self._origin_clients = OriginIndex()
         self._pending_qcs: Dict[str, QuorumCertificate] = {}
-        self._replied_txids: set[str] = set()
+        self._replied_txids = TxidDedup(window=DEFAULT_DEDUP_WINDOW)
         self._last_proposed_view = 0
         self._crashed = False
         for attr, default in self._strategy_defaults.items():
@@ -299,6 +348,9 @@ class Replica:
             return
         if status == "committed":
             self._replied_txids.add(txid)
+            # A committed transaction is done with reply routing; dropping
+            # the entry eagerly keeps the origin index at in-flight size.
+            self._origin_clients.pop(txid)
         reply = ClientReply(
             sender=self.node_id,
             size_bytes=self.size_model.client_reply_size,

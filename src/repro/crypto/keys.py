@@ -1,4 +1,19 @@
-"""Simulated key pairs and the cluster-wide key registry."""
+"""Key pairs and the cluster-wide key registry.
+
+Two signing schemes share one interface:
+
+* ``hmac`` — the original simulated scheme.  Tags are HMAC-SHA256 over the
+  digest; verification recomputes the tag, which works because the registry
+  holds every node's secret (a stand-in for a permissioned PKI).  Cheap and
+  deterministic, so the discrete-event model charges *modeled* crypto costs
+  instead.
+* ``ed25519`` — real signatures via the pure-Python RFC 8032 implementation
+  in :mod:`repro.crypto.ed25519`.  Used by the deployment runtime
+  (:mod:`repro.transport`), where crypto cost is *measured* wall-clock work.
+
+Both expose ``mac(message) -> tag`` and ``verify_tag(message, tag) -> bool``,
+so :func:`repro.crypto.signatures.verify` needs no knowledge of the scheme.
+"""
 
 from __future__ import annotations
 
@@ -7,10 +22,12 @@ import hmac
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.crypto import ed25519
+
 
 @dataclass(frozen=True)
 class KeyPair:
-    """A replica's signing identity.
+    """A replica's HMAC-based signing identity (simulation default).
 
     The "private key" is an HMAC secret derived from the node id and a
     deployment seed; the "public key" is its hash.  Verification requires
@@ -31,6 +48,10 @@ class KeyPair:
         """Return the raw authentication tag over ``message``."""
         return hmac.new(self.secret, message, hashlib.sha256).digest()
 
+    def verify_tag(self, message: bytes, tag: bytes) -> bool:
+        """Check an authentication tag produced by :meth:`mac`."""
+        return hmac.compare_digest(self.mac(message), tag)
+
     @classmethod
     def generate(cls, node_id: str, deployment_seed: int = 0) -> "KeyPair":
         """Deterministically derive the key pair for ``node_id``."""
@@ -38,25 +59,90 @@ class KeyPair:
         return cls(node_id=node_id, secret=secret)
 
 
+@dataclass(frozen=True)
+class Ed25519KeyPair:
+    """A replica's Ed25519 signing identity (deployment mode).
+
+    ``secret`` is the 32-byte RFC 8032 seed.  The same deterministic
+    derivation as :class:`KeyPair` keeps deployments reproducible: the seed is
+    a hash of the node id and deployment seed, so every process in a cluster
+    derives the same membership without key exchange.
+    """
+
+    node_id: str
+    secret: bytes = field(repr=False)
+
+    @property
+    def public_key(self) -> str:
+        """Hex encoding of the 32-byte Ed25519 public key."""
+        return self.public_key_bytes.hex()
+
+    @property
+    def public_key_bytes(self) -> bytes:
+        cached = _PUBLIC_KEY_CACHE.get(self.secret)
+        if cached is None:
+            cached = ed25519.public_key(self.secret)
+            _PUBLIC_KEY_CACHE[self.secret] = cached
+        return cached
+
+    def mac(self, message: bytes) -> bytes:
+        """Sign ``message``; the 64-byte signature is the tag."""
+        return ed25519.sign(self.secret, message)
+
+    def verify_tag(self, message: bytes, tag: bytes) -> bool:
+        """Verify an Ed25519 signature against this node's public key."""
+        return ed25519.verify(self.public_key_bytes, message, tag)
+
+    @classmethod
+    def generate(cls, node_id: str, deployment_seed: int = 0) -> "Ed25519KeyPair":
+        """Deterministically derive the key pair for ``node_id``."""
+        secret = hashlib.sha256(f"ed25519:{deployment_seed}:{node_id}".encode("utf-8")).digest()
+        return cls(node_id=node_id, secret=secret)
+
+
+#: Memoized seed -> public key; deriving one costs a scalar multiplication
+#: (~ms in pure Python) and verification needs it on every vote.
+_PUBLIC_KEY_CACHE: Dict[bytes, bytes] = {}
+
+#: Signing scheme name -> key-pair class.
+SIGNING_SCHEMES = {
+    "hmac": KeyPair,
+    "ed25519": Ed25519KeyPair,
+}
+
+
+def available_schemes() -> list[str]:
+    """Names of the registered signing schemes."""
+    return sorted(SIGNING_SCHEMES)
+
+
 class KeyRegistry:
     """Holds the key pairs of every node in the deployment.
 
     In a permissioned blockchain the validator set and its public keys are
     part of the static configuration, so every replica can verify every other
-    replica's signatures.  The registry plays that role for the simulation.
+    replica's signatures.  The registry plays that role for both the
+    simulation (``scheme="hmac"``) and the real-transport deployment
+    (``scheme="ed25519"``).
     """
 
-    def __init__(self, deployment_seed: int = 0) -> None:
+    def __init__(self, deployment_seed: int = 0, scheme: str = "hmac") -> None:
+        if scheme not in SIGNING_SCHEMES:
+            raise ValueError(
+                f"unknown signing scheme {scheme!r}; expected one of {available_schemes()}"
+            )
         self.deployment_seed = deployment_seed
-        self._keys: Dict[str, KeyPair] = {}
+        self.scheme = scheme
+        self._keypair_class = SIGNING_SCHEMES[scheme]
+        self._keys: Dict[str, object] = {}
 
-    def register(self, node_id: str) -> KeyPair:
+    def register(self, node_id: str):
         """Create (or return) the key pair for ``node_id``."""
         if node_id not in self._keys:
-            self._keys[node_id] = KeyPair.generate(node_id, self.deployment_seed)
+            self._keys[node_id] = self._keypair_class.generate(node_id, self.deployment_seed)
         return self._keys[node_id]
 
-    def get(self, node_id: str) -> KeyPair:
+    def get(self, node_id: str):
         """Return the key pair for a registered node."""
         if node_id not in self._keys:
             raise KeyError(f"unknown node: {node_id!r}")

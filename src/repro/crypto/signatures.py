@@ -1,8 +1,7 @@
-"""Simulated signatures over message digests."""
+"""Signatures over message digests, generic over the signing scheme."""
 
 from __future__ import annotations
 
-import hmac
 from dataclasses import dataclass
 
 from repro.crypto.keys import KeyPair, KeyRegistry
@@ -40,5 +39,5 @@ def verify(registry: KeyRegistry, signature: Signature) -> bool:
     """
     if signature.signer not in registry:
         return False
-    expected = registry.get(signature.signer).mac(signature.digest.encode("ascii"))
-    return hmac.compare_digest(expected, signature.tag)
+    keypair = registry.get(signature.signer)
+    return keypair.verify_tag(signature.digest.encode("ascii"), signature.tag)

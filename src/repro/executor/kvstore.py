@@ -27,9 +27,11 @@ fall back to a bounded FIFO of raw ids.
 
 The index holds O(clients × window) entries, independent of run length —
 and snapshots (:class:`KVSnapshot`, shipped in ``SnapshotResponse``) shrink
-accordingly.  (The *replica's* reply-routing maps — ``_origin_clients`` /
-``_replied_txids`` — are a separate per-transaction structure and still
-grow with the run; bounding them the same way is a ROADMAP follow-up.)
+accordingly.  The replica's reply-routing state gets the same treatment:
+``_replied_txids`` reuses :class:`TxidDedup` directly and ``_origin_clients``
+is a bounded FIFO (:class:`repro.core.replica.OriginIndex`), so no
+per-transaction structure grows with run length anymore
+(``tools/memory_smoke.py`` asserts all of these bounds).
 """
 
 from __future__ import annotations

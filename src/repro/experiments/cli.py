@@ -3,6 +3,7 @@
 Every subcommand is driven by the same JSON files the library consumes::
 
     python -m repro run experiment.json            # one experiment (+scenario)
+    python -m repro deploy --nodes 4 --runtime 3   # real asyncio TCP cluster
     python -m repro campaign grid.json -w 4 -s out # a parallel, resumable grid
     python -m repro sweep config.json --concurrency 8,32,128
     python -m repro report --store out             # aggregate: mean ± 95% CI
@@ -89,6 +90,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    """Run one real-transport deployment (see :mod:`repro.transport`)."""
+    data = _load_json(args.config) if args.config else {}
+    config = Configuration.from_dict(data.get("config", data))
+    overrides: Dict[str, Any] = {"mode": "deploy"}
+    if args.nodes is not None:
+        overrides["num_nodes"] = args.nodes
+    if args.protocol is not None:
+        overrides["protocol"] = args.protocol
+    if args.runtime is not None:
+        overrides["runtime"] = args.runtime
+    if args.rate is not None:
+        overrides["arrival_rate"] = args.rate
+    if args.signing is not None:
+        overrides["signing"] = args.signing
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    config = config.replace(**overrides).validate()
+    result = run_experiment(config)
+    metrics = result.metrics.to_dict()
+    if args.json:
+        print(json.dumps(metrics | {"consistent": result.consistent}, indent=2))
+    else:
+        print(
+            f"deployed {config.num_nodes} replicas ({config.protocol}, "
+            f"{config.resolved_signing()} signing) for "
+            f"{config.total_duration:.1f}s wall time"
+        )
+        row = _metrics_row(metrics)
+        print(format_table([row], row.keys()))
+    # Stable one-per-line facts for scripts and the CI deploy-smoke grep.
+    print(f"committed transactions: {result.metrics.committed_transactions}")
+    print(f"consistent: {'true' if result.consistent else 'false'}")
+    if args.store:
+        from repro.experiments.spec import run_key
+
+        store = ResultStore(args.store)
+        store.add({
+            "run_id": run_key(config),
+            "campaign": args.campaign_name,
+            "index": 0,
+            "repetition": 0,
+            "params": {
+                "protocol": config.protocol,
+                "arrival_rate": config.arrival_rate,
+                "mode": config.mode,
+            },
+            "config": config.to_dict(),
+            "metrics": metrics,
+            "consistent": result.consistent,
+            "highest_view": result.highest_view,
+            "timeline": [[t, tps] for t, tps in result.timeline],
+        })
+        print(f"results: {store.path}")
+    return 0 if result.consistent else 1
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     spec = ExperimentSpec.from_dict(_load_json(args.spec))
     store = ResultStore(args.store) if args.store else None
@@ -168,6 +226,28 @@ def _parse_metrics(text: Optional[str]) -> Optional[List[str]]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
+def _parse_tolerances(values: Optional[List[str]]) -> tuple:
+    """Split repeated ``--tolerance`` flags into (global, per-metric dict).
+
+    Each occurrence is either a bare float (the global relative slack) or
+    ``metric=value`` (an override for that metric only).
+    """
+    global_tol = 0.0
+    per_metric: Dict[str, float] = {}
+    for raw in values or []:
+        name, sep, number = raw.partition("=")
+        try:
+            if sep:
+                per_metric[name.strip()] = float(number)
+            else:
+                global_tol = float(raw)
+        except ValueError:
+            raise SystemExit(
+                f"error: bad --tolerance {raw!r} (expected FLOAT or METRIC=FLOAT)"
+            )
+    return global_tol, per_metric
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis import aggregate_records, comparison_table
 
@@ -240,8 +320,9 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     except BaselineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    tolerance, tolerances = _parse_tolerances(args.tolerance)
     report = compare(baseline, summaries, metrics=_parse_metrics(args.metrics),
-                     tolerance=args.tolerance)
+                     tolerance=tolerance, tolerances=tolerances)
     if args.json:
         print(json.dumps({
             "ok": report.ok,
@@ -309,6 +390,26 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--json", action="store_true", help="print raw JSON metrics")
     run_p.set_defaults(func=_cmd_run)
 
+    deploy_p = sub.add_parser(
+        "deploy",
+        help="run the protocol stack over real asyncio TCP with real signing",
+    )
+    deploy_p.add_argument("config", nargs="?",
+                          help="optional JSON Configuration (flags override it)")
+    deploy_p.add_argument("-n", "--nodes", type=int, help="number of replicas")
+    deploy_p.add_argument("-p", "--protocol", help="protocol name (default hotstuff)")
+    deploy_p.add_argument("--runtime", type=float,
+                          help="measured wall-clock seconds (default 5)")
+    deploy_p.add_argument("--rate", type=float,
+                          help="open-loop arrival rate in Tx/s (default: closed-loop)")
+    deploy_p.add_argument("--signing", help="signing scheme (default ed25519 in deploy)")
+    deploy_p.add_argument("--seed", type=int, help="deployment seed")
+    deploy_p.add_argument("-s", "--store", help="append the record to this result store")
+    deploy_p.add_argument("--campaign-name", default="fig8_deploy",
+                          help="campaign name for stored records (default fig8_deploy)")
+    deploy_p.add_argument("--json", action="store_true", help="print raw JSON metrics")
+    deploy_p.set_defaults(func=_cmd_deploy)
+
     camp_p = sub.add_parser("campaign", help="run a declarative experiment grid")
     camp_p.add_argument("spec", help="JSON file with an ExperimentSpec")
     camp_p.add_argument("-w", "--workers", type=int, default=1,
@@ -365,8 +466,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the baseline instead of comparing")
     regress_p.add_argument("-m", "--metrics",
                            help="comma-separated metric names (default: headline set)")
-    regress_p.add_argument("-t", "--tolerance", type=float, default=0.0,
-                           help="relative slack added to the CI test (default 0)")
+    regress_p.add_argument("-t", "--tolerance", action="append",
+                           help="relative slack: FLOAT (global) or METRIC=FLOAT "
+                                "(per-metric override); repeatable (default 0)")
     regress_p.add_argument("--json", action="store_true", help="print raw JSON verdicts")
     regress_p.set_defaults(func=_cmd_regress)
 

@@ -99,6 +99,12 @@ class ScenarioRunner:
     """Builds a cluster, schedules a scenario's events, and runs it."""
 
     def __init__(self, config: Configuration, scenario: Scenario, bucket: float = 0.5) -> None:
+        if config.mode != "model":
+            raise ValueError(
+                "scenarios schedule events on the simulated clock; "
+                f"mode={config.mode!r} configurations cannot run one "
+                "(use mode='model')"
+            )
         self.config = config
         self.scenario = scenario
         #: Width of the throughput-timeline buckets, in simulated seconds.

@@ -395,6 +395,48 @@ class TestRegress:
         with pytest.raises(BaselineError, match="no 'groups'"):
             load_baseline(bad)
 
+    def eps_group(self, samples):
+        """Aggregated events_per_second repetitions (the ratcheted metric)."""
+        recs = [record("perf", {"scenario": "base", "_repetition": i},
+                       {"events_per_second": v}) for i, v in enumerate(samples)]
+        return aggregate_records(recs, metrics=["events_per_second"])
+
+    def test_ratchet_up_lets_improvements_pass(self):
+        # events_per_second is ratchet-up by default: a big win is not a
+        # regression, but it is reported as worth re-freezing.
+        baseline = freeze(self.eps_group([90.0, 100.0, 110.0]),
+                          metrics=["events_per_second"])
+        report = compare(baseline, self.eps_group([190.0, 200.0, 210.0]))
+        assert report.ok
+        assert [f.metric for f in report.improvements] == ["events_per_second"]
+        assert "improved" in report.render()
+
+    def test_ratchet_up_flags_drops(self):
+        baseline = freeze(self.eps_group([90.0, 100.0, 110.0]),
+                          metrics=["events_per_second"])
+        report = compare(baseline, self.eps_group([40.0, 50.0, 60.0]))
+        assert not report.ok
+        (finding,) = report.regressions
+        assert (finding.metric, finding.policy) == ("events_per_second", "ratchet-up")
+        assert "fell" in finding.describe() and "ratchet-up" in finding.describe()
+
+    def test_per_metric_tolerance_overrides_global(self):
+        # A degenerate (n=1) baseline: only tolerance provides slack, and the
+        # per-metric entry must apply to its metric alone.
+        baseline = freeze(aggregate_records(reps("camp", {"p": 1}, [100.0])))
+        moved = aggregate_records(reps("camp", {"p": 1}, [104.0]))
+        assert not compare(baseline, moved).ok
+        assert compare(baseline, moved,
+                       tolerances={"throughput_tps": 0.05}).ok
+        assert not compare(baseline, moved,
+                           tolerances={"mean_latency": 0.05}).ok
+
+    def test_unknown_policy_rejected(self):
+        baseline = freeze(self.groups(100.0))
+        with pytest.raises(ValueError, match="unknown policy"):
+            compare(baseline, self.groups(100.0),
+                    policies={"throughput_tps": "bogus"})
+
 
 # ----------------------------------------------------------------------
 # end to end: one real stored campaign, shared across the CLI tests

@@ -11,7 +11,10 @@ Runs a 60-second-simulated-time experiment twice — checkpointing off and on
   bound of O(checkpoint interval), while the baseline's forest grows with
   the committed chain;
 * the scheduler's event heap stays compact (cancelled pacemaker timers are
-  lazily swept, so the heap tracks live timers, not view-change history).
+  lazily swept, so the heap tracks live timers, not view-change history);
+* the replica's reply-routing state stays bounded: the origin index holds at
+  most its FIFO capacity and the replied-txid dedup at most its per-client
+  floor-plus-window entries, however many transactions committed.
 
 Exits non-zero on any violation.  CI runs this as the ``memory-smoke`` job;
 run it locally with ``python tools/memory_smoke.py``.
@@ -27,6 +30,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench.config import Configuration  # noqa: E402
 from repro.bench.runner import build_cluster  # noqa: E402
+from repro.core.replica import ORIGIN_INDEX_CAPACITY  # noqa: E402
+from repro.executor.kvstore import DEFAULT_DEDUP_WINDOW  # noqa: E402
 
 #: Simulated seconds of the measured run.
 HORIZON = 60.0
@@ -122,6 +127,38 @@ def main() -> int:
     if not baseline.consistency_check():
         failures.append("baseline run failed the consistency check")
 
+    # Reply-routing bounds: the run commits far more transactions than
+    # either structure may retain, so these only hold if eviction works.
+    committed_tx = base_metrics.committed_transactions
+    num_clients = baseline.config.num_clients
+    replied_bound = num_clients * (1 + DEFAULT_DEDUP_WINDOW)
+    if committed_tx <= replied_bound:
+        failures.append(
+            f"only {committed_tx} transactions committed (bound {replied_bound}); "
+            "the smoke run is too short to exercise reply-state eviction"
+        )
+    for label, cluster in (("baseline", baseline), ("checkpointed", checked)):
+        for replica in cluster.replicas.values():
+            origin = len(replica._origin_clients)
+            replied = replica._replied_txids.entry_count()
+            if origin > ORIGIN_INDEX_CAPACITY:
+                failures.append(
+                    f"{label} {replica.node_id}: origin index holds {origin} "
+                    f"entries (capacity {ORIGIN_INDEX_CAPACITY})"
+                )
+            if replied > replied_bound:
+                failures.append(
+                    f"{label} {replica.node_id}: replied-txid dedup holds "
+                    f"{replied} entries (bound {replied_bound})"
+                )
+    r0 = baseline.replicas["r0"]
+    print(
+        f"  reply routing (r0): {len(r0._origin_clients)} origin entries "
+        f"(cap {ORIGIN_INDEX_CAPACITY}), {r0._replied_txids.entry_count()} "
+        f"replied entries (bound {replied_bound}), "
+        f"{committed_tx} transactions committed"
+    )
+
     for label, cluster in (("baseline", baseline), ("checkpointed", checked)):
         scheduler = cluster.scheduler
         print(
@@ -143,7 +180,8 @@ def main() -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("OK: forests bounded, committed metrics bit-identical, heap compact")
+    print("OK: forests bounded, reply routing bounded, committed metrics "
+          "bit-identical, heap compact")
     return 0
 
 

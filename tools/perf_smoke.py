@@ -13,12 +13,17 @@ writes a ``BENCH_perf_smoke.json`` summary::
 
 Each case reports the *best* of ``--repeats`` runs (the usual benchmarking
 convention: the minimum is the least-noisy estimate of the code's speed).
-Host timings are inherently machine-dependent; compare like with like.
 
-Exits non-zero only if a run fails outright or produces zero events — it is
-a measurement, not a gate.  CI runs it to publish the summary as an
-artifact; committed snapshots of it seed the perf trajectory future PRs can
-regress against.
+Exits non-zero only if a run fails outright or produces zero events — a
+measurement, not a gate — **unless** ``--baseline PATH`` names a frozen
+baseline, which turns it into a one-sided perf ratchet
+(:mod:`repro.analysis.regress` with the ``events_per_second`` "ratchet-up"
+policy): a drop beyond ``--ratchet-tolerance`` fails, while an improvement
+passes and latches by re-freezing the baseline in place.  Freeze the first
+baseline with ``--baseline PATH --freeze``.  Host timings are
+machine-dependent, so keep the tolerance generous (default 0.5 = a 50%
+slowdown fails) — the ratchet is for catching order-of-magnitude
+regressions and recording wins, not micro-noise.
 """
 
 from __future__ import annotations
@@ -87,6 +92,54 @@ def measure(config: Configuration, repeats: int) -> dict:
     return best
 
 
+def _perf_records(results: dict) -> list:
+    """Shape per-case results as campaign records the regress layer accepts."""
+    return [
+        {
+            "run_id": name,
+            "campaign": "perf_smoke",
+            "params": {"_case": name},
+            "metrics": {"events_per_second": case["events_per_second"]},
+        }
+        for name, case in results.items()
+    ]
+
+
+def ratchet(results: dict, baseline_path: Path, tolerance: float, freeze_new: bool) -> int:
+    """Gate events/sec against a frozen baseline; latch any improvement."""
+    from repro.analysis.regress import (
+        BaselineError,
+        compare_records,
+        freeze,
+        load_baseline,
+        save_baseline,
+    )
+    from repro.analysis.stats import aggregate_records
+
+    records = _perf_records(results)
+    metrics = ["events_per_second"]
+    if freeze_new or not baseline_path.exists():
+        save_baseline(baseline_path, freeze(aggregate_records(records), metrics=metrics))
+        print(f"perf_smoke: baseline frozen at {baseline_path}")
+        return 0
+    try:
+        baseline = load_baseline(baseline_path)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    report = compare_records(
+        baseline, records, metrics=metrics,
+        tolerances={"events_per_second": tolerance},
+    )
+    print(report.render())
+    if report.improvements:
+        # A confirmed win becomes the new floor — the ratchet only turns
+        # one way.
+        save_baseline(baseline_path, freeze(aggregate_records(records), metrics=metrics))
+        print(f"perf_smoke: improvement latched into {baseline_path}")
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent
@@ -94,6 +147,14 @@ def main(argv=None) -> int:
                         help="output JSON path (default: repo-root BENCH_perf_smoke.json)")
     parser.add_argument("--repeats", type=int, default=2,
                         help="runs per case, best-of (default 2)")
+    parser.add_argument("--baseline",
+                        help="events/sec ratchet baseline JSON; gate against it "
+                             "(and latch improvements), or create it if absent")
+    parser.add_argument("--freeze", action="store_true",
+                        help="rewrite the baseline from this run instead of gating")
+    parser.add_argument("--ratchet-tolerance", type=float, default=0.5,
+                        help="relative drop allowed before the gate fails "
+                             "(default 0.5; host timings are noisy)")
     args = parser.parse_args(argv)
 
     results = {}
@@ -122,6 +183,8 @@ def main(argv=None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(f"perf_smoke: wrote {out}")
+    if args.baseline:
+        return ratchet(results, Path(args.baseline), args.ratchet_tolerance, args.freeze)
     return 0
 
 
