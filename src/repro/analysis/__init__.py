@@ -19,12 +19,15 @@ and on the command line as ``python -m repro report | plot | regress``.
 """
 
 from repro.analysis.figures import (
+    ATTACK_PANELS,
     FIGURES,
     FigureDef,
     FigureError,
+    compose_grid,
     figure_for_campaign,
     render_chart,
     render_figure,
+    render_panels,
     render_store,
 )
 from repro.analysis.regress import (
@@ -57,6 +60,7 @@ from repro.analysis.stats import (
 )
 
 __all__ = [
+    "ATTACK_PANELS",
     "FIGURES",
     "Aggregate",
     "BaselineError",
@@ -71,6 +75,7 @@ __all__ = [
     "compare",
     "compare_records",
     "comparison_table",
+    "compose_grid",
     "csv_table",
     "figure_for_campaign",
     "format_cell",
@@ -82,6 +87,7 @@ __all__ = [
     "render",
     "render_chart",
     "render_figure",
+    "render_panels",
     "render_store",
     "save_baseline",
     "summary_rows",

@@ -20,6 +20,7 @@ generic throughput chart, or to explicit ``x``/``y`` choices via the CLI
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -67,7 +68,23 @@ class FigureDef:
     timeline: bool = False
     #: Treat x values as category labels (evenly spaced, e.g. ablation arms).
     categorical: bool = False
+    #: Extra ``(metric, ylabel, y_scale)`` panels.  When set, the figure
+    #: renders as a grid of sub-charts sharing the x axis — one panel per
+    #: entry — instead of the single ``y`` chart.  Panels whose metric is
+    #: absent from every record are skipped (at least one must render).
+    panels: Optional[Tuple[Tuple[str, str, float], ...]] = None
 
+
+#: The four headline metrics of the attack figures (13 and 14).  The paper
+#: plots one metric per figure; rendering all four as panels shows the whole
+#: degradation profile — an attack that leaves throughput intact can still
+#: stretch latency or stall chain growth.
+ATTACK_PANELS: Tuple[Tuple[str, str, float], ...] = (
+    ("throughput_tps", "throughput (Tx/s)", 1.0),
+    ("mean_latency", "mean latency (ms)", 1e3),
+    ("chain_growth_rate", "chain growth rate (blocks/s)", 1.0),
+    ("block_interval", "block interval (s)", 1.0),
+)
 
 #: The registered paper figures, keyed by campaign-name prefix.
 FIGURES: Dict[str, FigureDef] = {
@@ -112,12 +129,14 @@ FIGURES: Dict[str, FigureDef] = {
             title="Fig. 13 — forking attack",
             xlabel="Byzantine replicas", ylabel="chain growth rate",
             x="byzantine_nodes", y="chain_growth_rate",
+            panels=ATTACK_PANELS,
         ),
         FigureDef(
             key="fig14",
             title="Fig. 14 — silence attack",
             xlabel="Byzantine replicas", ylabel="throughput (Tx/s)",
             x="byzantine_nodes", y="throughput_tps",
+            panels=ATTACK_PANELS,
         ),
         FigureDef(
             key="fig15",
@@ -402,6 +421,104 @@ def render_chart(
 
 
 # ----------------------------------------------------------------------
+# multi-panel composition
+# ----------------------------------------------------------------------
+_SVG_SIZE = re.compile(r'width="(\d+)" height="(\d+)"')
+
+
+def compose_grid(
+    cells: Sequence[str], title: str = "", columns: int = 2
+) -> str:
+    """Compose standalone SVG documents into one grid figure.
+
+    Each cell keeps its own coordinate system: the documents are embedded
+    as nested ``<svg x= y=>`` elements, so a cell's internal layout (axes,
+    legend) is untouched.  Rows are as tall as their tallest cell, columns
+    as wide as the widest cell, and an optional title banner sits on top.
+    """
+    if not cells:
+        raise FigureError("nothing to compose: no panel cells")
+    columns = max(1, min(columns, len(cells)))
+    sizes = []
+    for cell in cells:
+        match = _SVG_SIZE.search(cell)
+        if match is None:
+            raise FigureError("panel cell is not a sized SVG document")
+        sizes.append((int(match.group(1)), int(match.group(2))))
+
+    rows = [list(range(i, min(i + columns, len(cells)))) for i in range(0, len(cells), columns)]
+    col_w = [
+        max((sizes[i][0] for row in rows for i in row[c:c + 1]), default=0)
+        for c in range(columns)
+    ]
+    row_h = [max(sizes[i][1] for i in row) for row in rows]
+    banner = 36 if title else 0
+    width = sum(col_w)
+    height = banner + sum(row_h)
+
+    out: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        out.append(
+            f'<text x="{width / 2:.1f}" y="24" {_FONT} font-size="16" '
+            f'font-weight="bold" text-anchor="middle">{_escape(title)}</text>'
+        )
+    y = banner
+    for row, h in zip(rows, row_h):
+        x = 0
+        for column, i in enumerate(row):
+            # Nested <svg> accepts x/y placement; the cell's own width,
+            # height, and viewBox keep its internal layout intact.
+            out.append(cells[i].replace("<svg ", f'<svg x="{x}" y="{y}" ', 1))
+            x += col_w[column]
+        y += h
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def render_panels(
+    summaries: Sequence[GroupSummary],
+    figure: FigureDef,
+    title: str,
+    columns: int = 2,
+) -> str:
+    """Render a paneled figure: one sub-chart per ``figure.panels`` entry.
+
+    Panels whose metric no record carries are skipped silently (older
+    stores may predate a metric); if *every* panel is empty the error
+    from the last panel propagates, naming what was missing.
+    """
+    if not figure.panels:
+        raise FigureError(f"figure {figure.key!r} defines no panels")
+    cells: List[str] = []
+    error: Optional[FigureError] = None
+    for metric, ylabel, scale in figure.panels:
+        sub = replace(figure, y=metric, ylabel=ylabel, y_scale=scale, panels=None)
+        try:
+            series, categories = build_series(summaries, sub)
+        except FigureError as exc:
+            error = exc
+            continue
+        cells.append(
+            render_chart(
+                series,
+                title=ylabel,
+                xlabel=figure.xlabel,
+                ylabel=ylabel,
+                x_categories=categories,
+                width=600,
+                height=380,
+            )
+        )
+    if not cells:
+        raise error if error is not None else FigureError("no panels rendered")
+    return compose_grid(cells, title=title, columns=columns)
+
+
+# ----------------------------------------------------------------------
 # high-level entry points
 # ----------------------------------------------------------------------
 def render_figure(
@@ -429,10 +546,17 @@ def render_figure(
     if figure is None:
         figure = figure_for_campaign(campaign) or replace(_GENERIC, title=campaign or "campaign")
     summaries = aggregate_records(records)
+    shown_title = (
+        title or f"{figure.title} — {campaign}"
+        if campaign and campaign != figure.title
+        else (title or figure.title)
+    )
+    if figure.panels:
+        return render_panels(summaries, figure, title=shown_title)
     series, categories = build_series(summaries, figure)
     return render_chart(
         series,
-        title=title or f"{figure.title} — {campaign}" if campaign and campaign != figure.title else (title or figure.title),
+        title=shown_title,
         xlabel=figure.xlabel,
         ylabel=figure.ylabel,
         x_categories=categories,

@@ -31,6 +31,10 @@ Everything a user script needs lives here::
     groups = api.aggregate("results/")
     paths = api.plot("results/", out="figures/")
 
+    # fuzz: randomized fault/Byzantine scenarios audited by safety oracles
+    report = api.fuzz(budget=50, seed=0, store="results/")
+    assert report.ok, report.violations
+
     # extend the framework: every extension point is a register_* decorator
     @api.register_protocol("myproto")
     class MyProtocolSafety(Safety): ...
@@ -53,6 +57,7 @@ re-exported per registry:
 ``clients``            ``register_client``          ``ClientBase``
 ``scenario_events``    ``register_scenario_event``  ``ScenarioEvent``
 ``message_handlers``   ``register_message_handler`` handler callable
+``oracles``            ``register_oracle``          invariant callable
 =====================  ===========================  =======================
 
 ``docs/EXTENDING.md`` walks through every row with runnable examples —
@@ -82,6 +87,14 @@ from repro.core.byzantine import available_strategies, register_strategy
 from repro.core.dispatch import available_message_handlers, register_message_handler
 from repro.election.election import available_elections, register_election
 from repro.network.delays import available_delay_models, register_delay_model
+from repro.fuzz import (
+    FuzzReport,
+    available_oracles,
+    register_oracle,
+    replay,
+    run_fuzz,
+)
+from repro.fuzz import audit as _fuzz_audit
 from repro.protocols.registry import available_protocols, register_protocol
 from repro.scenario import (
     Scenario,
@@ -99,16 +112,19 @@ __all__ = [
     "ConfigurationError",
     "ExperimentResult",
     "ExperimentSpec",
+    "FuzzReport",
     "GroupSummary",
     "ResultStore",
     "Scenario",
     "ScenarioResult",
     "SweepPoint",
     "aggregate",
+    "audit",
     "available",
     "build",
     "campaign",
     "deploy",
+    "fuzz",
     "grid",
     "load_config",
     "plot",
@@ -116,9 +132,11 @@ __all__ = [
     "register_delay_model",
     "register_election",
     "register_message_handler",
+    "register_oracle",
     "register_protocol",
     "register_scenario_event",
     "register_strategy",
+    "replay",
     "run",
     "sweep",
 ]
@@ -346,13 +364,57 @@ def plot(
     return render_store(store, out, campaigns=campaigns, figure=figure)
 
 
+def fuzz(
+    budget: int = 50,
+    seed: int = 0,
+    store: Optional[Union[ResultStore, str, Path]] = None,
+    artifacts: Optional[str] = None,
+    shrink: bool = True,
+) -> FuzzReport:
+    """Run a randomized adversarial campaign against the safety oracles.
+
+    Executes the first ``budget`` generated cases of ``seed`` — each an
+    ordinary configuration plus a bounded fault/Byzantine timeline — and
+    audits every finished cluster with the registered invariant oracles
+    (agreement, certified-safety, dedup, conditional liveness, plus any
+    added via :func:`register_oracle`).  Same seed, same cases: re-running
+    appends byte-identical records.  Violating cases dump replayable JSON
+    artifacts and a greedily shrunken ``-min`` variant; pass one to
+    :func:`replay` to re-execute it. ::
+
+        report = api.fuzz(budget=50, seed=0, store="results/")
+        assert report.ok, report.violations
+    """
+    if isinstance(store, Path):
+        store = str(store)
+    return run_fuzz(
+        budget=budget, seed=seed, store=store, artifacts=artifacts, shrink=shrink
+    )
+
+
+def audit(
+    config: ConfigLike,
+    scenario: ScenarioLike = None,
+    oracles: Optional[List[str]] = None,
+):
+    """Run one hand-built configuration through the full oracle audit.
+
+    Accepts the same ``Configuration``-or-dict (and ``Scenario``-or-dict)
+    inputs as :func:`run`; returns the :class:`repro.fuzz.CaseOutcome`
+    whose ``violations`` list is empty when every invariant held.  The
+    conformance-matrix tests use this to ask "does protocol P survive
+    attack A?" without generating fuzz cases.
+    """
+    return _fuzz_audit(_coerce_config(config), _coerce_scenario(scenario), oracles)
+
+
 def available(kind: Optional[str] = None) -> Union[Dict[str, List[str]], List[str]]:
     """List registered implementations, per extension point.
 
     With no argument, returns a dict mapping each extension point to its
     canonical names; with one ("protocols", "strategies", "elections",
-    "delay_models", "clients", "scenario_events", "message_handlers"),
-    returns that list.
+    "delay_models", "clients", "scenario_events", "message_handlers",
+    "oracles"), returns that list.
     """
     listings = {
         "protocols": available_protocols(),
@@ -362,6 +424,7 @@ def available(kind: Optional[str] = None) -> Union[Dict[str, List[str]], List[st
         "clients": available_clients(),
         "scenario_events": available_scenario_events(),
         "message_handlers": available_message_handlers(),
+        "oracles": available_oracles(),
     }
     if kind is None:
         return listings

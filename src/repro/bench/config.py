@@ -79,6 +79,15 @@ class Configuration:
     #: NIC bandwidth in bytes per second.
     bandwidth_bps: float = 125_000_000.0
 
+    # --- quorums ---------------------------------------------------------
+    #: Votes required to form a QC; 0 means the safe default
+    #: ``quorum_size(n) = n - f``.  Explicit values model flexible-quorum
+    #: deployments (a qc_threshold knob à la flexible_bft).  Values below
+    #: 2f+1 make quorums stop intersecting in an honest replica — the fuzz
+    #: harness's negative control sets 2 here to prove its agreement oracle
+    #: can actually trip.
+    quorum_threshold: int = 0
+
     # --- timing ----------------------------------------------------------
     #: Pacemaker timeout (Table I's ``timeout``), seconds.
     view_timeout: float = 0.1
@@ -293,6 +302,11 @@ class Configuration:
         for name, value in non_negatives:
             if value < 0:
                 problems.append(f"{name}: must be non-negative, got {value}")
+        if not 0 <= self.quorum_threshold <= self.num_nodes:
+            problems.append(
+                f"quorum_threshold: must be in [0, num_nodes]; got "
+                f"{self.quorum_threshold} with num_nodes {self.num_nodes}"
+            )
         if self.mempool_capacity > 0 and self.mempool_capacity < self.block_size:
             problems.append(
                 f"mempool_capacity: {self.mempool_capacity} is smaller than "

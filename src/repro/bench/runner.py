@@ -196,6 +196,7 @@ def build_cluster(config: Configuration) -> Cluster:
             interval=config.checkpoint_interval,
             snapshot_sync=config.snapshot_sync_enabled,
         ),
+        quorum_threshold=config.quorum_threshold,
     )
     costs = cost_profile(config.cost_profile)
     sizes = SizeModel()

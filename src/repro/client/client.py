@@ -160,6 +160,10 @@ class ClientBase:
             operation=operation,
             key=f"k{rng.randrange(self.workload.key_space)}",
             value=f"v{self.requests_sent}",
+            # Per-client sequence: txids (and thus chain hashes) are
+            # deterministic across repeated runs in one process, which the
+            # fuzzer's same-seed fingerprint comparison relies on.
+            sequence=self.requests_sent,
         )
         replica = rng.choice(self.replicas)
         request = ClientRequest(

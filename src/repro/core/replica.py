@@ -147,6 +147,11 @@ class ReplicaSettings:
         Checkpoint / log-truncation policy (see
         :class:`repro.checkpoint.CheckpointSettings`); disabled by default
         (``interval=0``), which keeps every block in memory as before.
+    quorum_threshold:
+        Votes required to form a QC; 0 (the default) means the safe
+        ``quorum_size(n) = n - f``.  Explicit values model flexible quorums;
+        anything below 2f + 1 is unsafe by construction (used by the fuzz
+        harness's negative control).
     """
 
     block_size: int = 400
@@ -156,6 +161,7 @@ class ReplicaSettings:
     prune_forks: bool = True
     sync: SyncSettings = field(default_factory=SyncSettings)
     checkpoint: CheckpointSettings = field(default_factory=CheckpointSettings)
+    quorum_threshold: int = 0
 
 
 @dataclass
@@ -224,7 +230,9 @@ class Replica:
         self.mempool = Mempool(capacity=self.settings.mempool_capacity)
         self.kvstore = KeyValueStore()
         self.cpu = FifoServer(scheduler, name=f"{node_id}.cpu")
-        self.quorum = QuorumTracker(len(self.peers), registry)
+        self.quorum = QuorumTracker(
+            len(self.peers), registry, threshold=self.settings.quorum_threshold or None
+        )
         self.timeouts = TimeoutTracker(len(self.peers), registry)
         self.pacemaker = Pacemaker(
             scheduler=scheduler,
@@ -313,6 +321,24 @@ class Replica:
             return
         dispatch(self, message)
 
+    # ------------------------------------------------------------------
+    # outbound seam
+    # ------------------------------------------------------------------
+    # Every protocol message this replica emits goes through these two
+    # hooks.  Honest replicas pass straight through to the network; omission
+    # strategies (repro.core.byzantine) override _send to drop or delay
+    # messages addressed to their victims without touching the network layer.
+    def _send(self, dst: str, message: Message) -> None:
+        self.network.send(self.node_id, dst, message)
+
+    def _broadcast(self, message: Message, include_self: bool = False) -> None:
+        for dst in self.peers:
+            if dst == self.node_id and not include_self:
+                continue
+            self._send(dst, message)
+        if include_self and self.node_id not in self.peers:
+            self._send(self.node_id, message)
+
     def _processing_cost(self, message: Message) -> float:
         """CPU service time for validating an incoming message."""
         if message.sender == self.node_id:
@@ -360,7 +386,7 @@ class Replica:
             status=status,
         )
         try:
-            self.network.send(self.node_id, client, reply)
+            self._send(client, reply)
         except KeyError:
             # The client endpoint was not registered (fire-and-forget loads).
             pass
@@ -428,10 +454,10 @@ class Replica:
         )
         self.stats.votes_sent += 1
         if self.safety.votes_broadcast:
-            self.network.broadcast(self.node_id, self.peers, message, include_self=True)
+            self._broadcast(message, include_self=True)
         else:
             next_leader = self.election.leader(block.view + 1)
-            self.network.send(self.node_id, next_leader, message)
+            self._send(next_leader, message)
 
     def _maybe_echo_proposal(self, message: ProposalMessage) -> None:
         if not self.safety.echo_messages:
@@ -445,7 +471,7 @@ class Replica:
             view=message.view,
             forwarded_by=self.node_id,
         )
-        self.network.broadcast(self.node_id, self.peers, echo, include_self=False)
+        self._broadcast(echo, include_self=False)
 
     # ------------------------------------------------------------------
     # votes and certificates
@@ -486,7 +512,7 @@ class Replica:
             vote=message.vote,
             forwarded_by=self.node_id,
         )
-        self.network.broadcast(self.node_id, self.peers, echo, include_self=False)
+        self._broadcast(echo, include_self=False)
 
     def _after_new_qc(self, qc: QuorumCertificate) -> None:
         # Advance the view before committing so that the commit view recorded
@@ -581,7 +607,7 @@ class Replica:
             timeout=timeout,
         )
         self.stats.timeouts_sent += 1
-        self.network.broadcast(self.node_id, self.peers, message, include_self=True)
+        self._broadcast(message, include_self=True)
 
     def _process_timeout(self, message: TimeoutMessage) -> None:
         self.stats.timeouts_received += 1
@@ -624,4 +650,4 @@ class Replica:
             sender=self.node_id, size_bytes=size, block=block, view=view
         )
         self.stats.proposals_sent += 1
-        self.network.broadcast(self.node_id, self.peers, message, include_self=True)
+        self._broadcast(message, include_self=True)

@@ -5,6 +5,7 @@ Every subcommand is driven by the same JSON files the library consumes::
     python -m repro run experiment.json            # one experiment (+scenario)
     python -m repro deploy --nodes 4 --runtime 3   # real asyncio TCP cluster
     python -m repro campaign grid.json -w 4 -s out # a parallel, resumable grid
+    python -m repro fuzz --budget 50 --seed 0      # adversarial scenario fuzzing
     python -m repro sweep config.json --concurrency 8,32,128
     python -m repro report --store out             # aggregate: mean ± 95% CI
     python -m repro plot --store out -o figures    # render paper figures (SVG)
@@ -170,6 +171,56 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(format_table(rows, ["run", "params", "throughput_tps", "mean_latency_ms",
                                "cgr", "block_interval", "consistent"]))
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run a fuzz campaign (or replay one violation artifact)."""
+    from repro.fuzz import replay, run_fuzz
+
+    if args.replay:
+        outcome = replay(args.replay)
+        print(f"replayed {args.replay} (run {outcome.case.run_id})")
+        for violation in outcome.violations:
+            print(f"violation [{violation.oracle}]: {violation.detail}")
+        print(f"violations: {len(outcome.violations)}")
+        # A replayed artifact is *expected* to violate: exit 0 when the bug
+        # still fires, 1 when it no longer reproduces (e.g. after a fix).
+        return 0 if outcome.violations else 1
+
+    def progress(outcome) -> None:
+        status = "ok" if outcome.ok else "VIOLATION"
+        case = outcome.case
+        print(
+            f"case {case.index:>3} {case.config.protocol:<12} "
+            f"n={case.config.num_nodes} byz={case.config.byzantine_nodes} "
+            f"events={len(case.scenario.events)} "
+            f"run={case.run_id} {status}"
+        )
+        for violation in outcome.violations:
+            print(f"  [{violation.oracle}] {violation.detail}")
+
+    report = run_fuzz(
+        budget=args.budget,
+        seed=args.seed,
+        store=args.store,
+        artifacts=args.artifacts,
+        shrink=not args.no_shrink,
+        progress=progress if not args.json else None,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+    coverage = ", ".join(f"{k}:{v}" for k, v in sorted(report.protocols.items()))
+    print(f"fuzz seed {report.seed}: {report.budget} cases "
+          f"({report.executed} executed, {report.skipped} already stored)")
+    print(f"protocols: {coverage}")
+    # Stable one-per-line facts for scripts and the CI fuzz-smoke grep.
+    print(f"violations: {len(report.violations)}")
+    for outcome in report.failures:
+        for artifact in (outcome.artifact, outcome.shrunk_artifact):
+            if artifact:
+                print(f"artifact: {artifact}")
+    return 0 if report.ok else 1
 
 
 def _parse_floats(text: str) -> List[float]:
@@ -419,6 +470,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="re-run points already present in the store")
     camp_p.add_argument("--json", action="store_true", help="print raw JSON records")
     camp_p.set_defaults(func=_cmd_campaign)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="run randomized adversarial scenarios against the safety oracles",
+    )
+    fuzz_p.add_argument("-b", "--budget", type=int, default=50,
+                        help="number of generated cases to run (default 50)")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; same seed => same cases (default 0)")
+    fuzz_p.add_argument("-s", "--store",
+                        help="result store directory (passing cases are "
+                             "recorded and skipped on re-runs)")
+    fuzz_p.add_argument("--artifacts",
+                        help="directory for replayable violation dumps "
+                             "(default: <store>/artifacts)")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="skip minimizing violating cases")
+    fuzz_p.add_argument("--replay", metavar="FILE",
+                        help="re-execute a violation artifact instead of fuzzing")
+    fuzz_p.add_argument("--json", action="store_true", help="print a JSON report")
+    fuzz_p.set_defaults(func=_cmd_fuzz)
 
     sweep_p = sub.add_parser("sweep", help="latency/throughput saturation sweep")
     sweep_p.add_argument("config", help="JSON file with the base Configuration")

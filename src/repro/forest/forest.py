@@ -265,6 +265,16 @@ class BlockForest:
         """
         return self._vertices[self._highest_certified_id]
 
+    def certified_vertices(self) -> List[Vertex]:
+        """Every retained vertex holding a QC, in insertion order.
+
+        Safety audits (the fuzz harness's certified-safety oracle) walk this
+        to assert that no view certified two different blocks.  Truncated
+        history is out of scope: blocks below the checkpoint watermark were
+        committed, and conflicting commits already raise :class:`ForestError`.
+        """
+        return [vertex for vertex in self._vertices.values() if vertex.certified]
+
     def _rescan_highest_certified(self) -> None:
         """Repair the highest-certified cache by scanning (after pruning)."""
         best = self._vertices[self._root_id]

@@ -40,11 +40,23 @@ def quorum_size(num_nodes: int) -> int:
 
 
 class QuorumTracker:
-    """Accumulates votes per (view, block) and forms QCs at the threshold."""
+    """Accumulates votes per (view, block) and forms QCs at the threshold.
 
-    def __init__(self, num_nodes: int, registry: Optional[KeyRegistry] = None) -> None:
+    ``threshold`` defaults to the safe ``quorum_size(n) = n - f``.  Passing an
+    explicit value models flexible-quorum deployments (SNIPPETS snippet 1's
+    ``qc_threshold``); values below 2f + 1 are deliberately *unsafe* — quorums
+    stop intersecting in an honest replica — which is exactly what the fuzz
+    harness's negative-control test exploits to prove its oracles can fail.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        registry: Optional[KeyRegistry] = None,
+        threshold: Optional[int] = None,
+    ) -> None:
         self.num_nodes = num_nodes
-        self.threshold = quorum_size(num_nodes)
+        self.threshold = threshold if threshold else quorum_size(num_nodes)
         self.registry = registry
         self._votes: Dict[Tuple[int, str], Dict[str, Signature]] = defaultdict(dict)
         self._certified: Set[Tuple[int, str]] = set()

@@ -116,9 +116,15 @@ class ScenarioRunner:
         self.scenario.schedule(cluster)
         return cluster
 
-    def run(self) -> ScenarioResult:
-        """Run the scenario to its horizon and summarize the outcome."""
-        cluster = self.build()
+    def run(self, cluster: Optional[Cluster] = None) -> ScenarioResult:
+        """Run the scenario to its horizon and summarize the outcome.
+
+        Pass the cluster from :meth:`build` to keep access to per-replica
+        state (forests, stats, executors) after the run — the fuzz harness's
+        invariant oracles audit exactly that.
+        """
+        if cluster is None:
+            cluster = self.build()
         horizon = self.scenario.horizon(self.config)
         started = time.perf_counter()
         cluster.start()

@@ -108,6 +108,7 @@ class DeploymentRunner:
                 interval=config.checkpoint_interval,
                 snapshot_sync=config.snapshot_sync_enabled,
             ),
+            quorum_threshold=config.quorum_threshold,
         )
         # Crypto/serialization cost is real wall-clock work here; charging
         # the configured model on top would double-count it.

@@ -38,9 +38,17 @@ class Transaction:
         operation: str = "put",
         key: Optional[str] = None,
         value: str = "",
+        sequence: Optional[int] = None,
     ) -> "Transaction":
-        """Build a transaction with a unique id."""
-        sequence = next(_COUNTER)
+        """Build a transaction with a unique id.
+
+        Pass an explicit per-client ``sequence`` for ids that are
+        deterministic across repeated runs in one process (clients do: their
+        ``(client_id, sequence)`` pair is unique cluster-wide); the default
+        falls back to a process-global counter.
+        """
+        if sequence is None:
+            sequence = next(_COUNTER)
         txid = f"tx-{client_id}-{sequence}"
         return cls(
             txid=txid,

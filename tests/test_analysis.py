@@ -332,6 +332,64 @@ class TestFigures:
             render_store(store, tmp_path / "figs", campaigns=["nope"])
 
 
+class TestMultiPanelFigures:
+    """Figures 13/14 render one panel per attack metric, composed as a
+    grid of nested ``<svg>`` cells."""
+
+    def attack_records(self, campaign="fig13", metrics=None):
+        out = []
+        for byz in (0, 1, 2):
+            for protocol in ("hotstuff", "streamlet"):
+                shape = metrics or {
+                    "throughput_tps": 1000.0 - 250.0 * byz,
+                    "mean_latency": 0.008 + 0.003 * byz,
+                    "chain_growth_rate": 18.0 - 4.0 * byz,
+                    "block_interval": 0.05 + 0.02 * byz,
+                }
+                out.append(record(
+                    campaign,
+                    {"byzantine_nodes": byz, "protocol": protocol},
+                    dict(shape),
+                ))
+        return out
+
+    def test_fig13_and_fig14_render_all_four_metrics(self):
+        for campaign in ("fig13_forking", "fig14_silence"):
+            svg = render_figure(self.attack_records(campaign))
+            # The outer document plus one nested <svg> per panel.
+            assert svg.count("<svg ") == 5
+            for label in ("throughput (Tx/s)", "mean latency (ms)",
+                          "chain growth rate (blocks/s)", "block interval (s)"):
+                assert label in svg
+            assert svg.rstrip().endswith("</svg>")
+
+    def test_missing_metric_drops_only_its_panel(self):
+        records = self.attack_records(metrics={
+            "throughput_tps": 500.0, "mean_latency": 0.01,
+            "chain_growth_rate": 10.0,
+        })
+        svg = render_figure(records)
+        assert svg.count("<svg ") == 4
+        assert "block interval" not in svg
+
+    def test_all_panels_missing_raises(self):
+        records = self.attack_records(metrics={"unrelated": 1.0})
+        with pytest.raises(FigureError):
+            render_figure(records)
+
+    def test_compose_grid_places_cells_and_sizes_the_document(self):
+        from repro.analysis import compose_grid
+
+        cell = ('<svg xmlns="http://www.w3.org/2000/svg" width="100" '
+                'height="80" viewBox="0 0 100 80"></svg>')
+        svg = compose_grid([cell] * 3, title="grid", columns=2)
+        # 2 columns wide, 2 rows tall, plus the 36px title banner.
+        assert 'width="200"' in svg and 'height="196"' in svg
+        assert '<svg x="100" y="36"' in svg and '<svg x="0" y="116"' in svg
+        with pytest.raises(FigureError):
+            compose_grid([])
+
+
 # ----------------------------------------------------------------------
 # regress
 # ----------------------------------------------------------------------

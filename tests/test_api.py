@@ -59,7 +59,7 @@ class TestFacade:
         listings = api.available()
         assert set(listings) == {
             "protocols", "strategies", "elections", "delay_models",
-            "clients", "scenario_events", "message_handlers",
+            "clients", "scenario_events", "message_handlers", "oracles",
         }
         assert listings["protocols"] == api.available("protocols")
         assert all(listings.values())

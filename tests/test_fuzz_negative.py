@@ -1,0 +1,132 @@
+"""The negative control: proof that the safety oracles can actually fail.
+
+A fuzzer whose invariants never fire is indistinguishable from one that
+checks nothing.  This module deliberately breaks quorum intersection — a
+flexible-quorum threshold of 2 in a 5-node cluster is below ``2f+1 = 3`` —
+and puts an equivocating static leader on top.  The leader feeds each half
+of the cluster its own chain branch; with non-intersecting quorums both
+branches certify and commit, so the agreement oracle (and usually
+certified-safety) must trip, reproducibly.
+
+The same module exercises the shrinker on that counterexample: decoy
+timeline events must be dropped, the cluster must *not* shrink below n=5
+(with n=4 the 2+1 group split leaves the minority branch unable to reach
+even the weakened quorum without the leader's own vote — the divergence
+genuinely needs 5 nodes), and the minimized artifact must replay to the
+same violation.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.config import Configuration
+from repro.fuzz import FuzzCase, audit, replay, shrink_case, write_artifact
+from repro.scenario import Scenario
+
+pytestmark = pytest.mark.slow
+
+
+def unsafe_config(**overrides):
+    """n=5, equivocating static leader r4, quorum threshold 2 < 2f+1."""
+    params = dict(
+        protocol="hotstuff",
+        num_nodes=5,
+        byzantine_nodes=1,
+        strategy="equivocate",
+        master="r4",
+        quorum_threshold=2,
+        block_size=20,
+        mempool_capacity=200,
+        concurrency=16,
+        num_clients=2,
+        view_timeout=0.05,
+        runtime=1.0,
+        warmup=0.2,
+        cooldown=0.3,
+        cost_profile="fast",
+        seed=3,
+    )
+    params.update(overrides)
+    return Configuration(**params)
+
+
+DECOY_EVENTS = [
+    {"kind": "network-fluctuation", "at": 0.3, "duration": 0.2,
+     "min_delay": 0.001, "max_delay": 0.01},
+    {"kind": "crash-replica", "at": 0.5, "replica": "r1"},
+    {"kind": "recover-replica", "at": 0.7, "replica": "r1"},
+]
+
+
+class TestNegativeControl:
+    def test_unsafe_quorum_trips_the_agreement_oracle(self):
+        outcome = audit(unsafe_config())
+        fired = {v.oracle for v in outcome.violations}
+        assert "agreement" in fired
+        assert "certified-safety" in fired
+        assert any("divergent chains" in v.detail for v in outcome.violations)
+        # The run itself must also flag the divergence through the ordinary
+        # consistency check, not just the oracles.
+        assert outcome.record["consistent"] is False
+
+    def test_safe_threshold_restores_agreement(self):
+        # Identical setup with the default (intersecting) quorum size: the
+        # equivocating leader gets no traction and every oracle passes.
+        outcome = audit(unsafe_config(quorum_threshold=0))
+        assert outcome.ok, [v.to_dict() for v in outcome.violations]
+
+    def test_violation_is_deterministic(self):
+        first = audit(unsafe_config(), oracles=["agreement"])
+        second = audit(unsafe_config(), oracles=["agreement"])
+        assert [v.to_dict() for v in first.violations] == [
+            v.to_dict() for v in second.violations
+        ]
+
+
+class TestShrinking:
+    def _violating_case(self):
+        return FuzzCase(
+            seed=0,
+            index=0,
+            config=unsafe_config(),
+            scenario=Scenario(name="negative-control", events=list(DECOY_EVENTS)),
+            liveness_eligible=False,
+        )
+
+    def test_shrinker_minimizes_and_artifact_replays(self, tmp_path):
+        result = shrink_case(self._violating_case(), oracles=["agreement"])
+        minimized = result.case
+
+        # All three decoy events are irrelevant to the divergence.
+        assert minimized.scenario.events == []
+        # The cluster must not shrink: r4 is the (Byzantine) master, and
+        # with n=4 the minority branch cannot certify at threshold 2.
+        assert minimized.config.num_nodes == 5
+        # The run shortens but stays long enough to diverge.
+        assert minimized.config.runtime < unsafe_config().runtime
+        assert result.reductions >= len(DECOY_EVENTS)
+        assert any(v.oracle == "agreement" for v in result.outcome.violations)
+
+        # The minimized case dumps to a self-contained artifact that
+        # replays to the same violation.
+        path = write_artifact(str(tmp_path), result.outcome, suffix="-min")
+        document = json.loads(open(path).read())
+        assert document["case"]["config"]["quorum_threshold"] == 2
+        replayed = replay(path)
+        assert any(v.oracle == "agreement" for v in replayed.violations)
+
+    def test_shrinker_returns_original_when_not_reproducible(self):
+        # A healthy configuration never violates, so the shrinker reports
+        # zero reductions and a passing outcome instead of looping.
+        case = FuzzCase(
+            seed=0,
+            index=0,
+            config=unsafe_config(quorum_threshold=0),
+            scenario=Scenario(name="healthy"),
+            liveness_eligible=False,
+        )
+        result = shrink_case(case, oracles=["agreement"])
+        assert result.reductions == 0
+        assert result.executions == 1
+        assert result.outcome.ok
