@@ -287,7 +287,7 @@ class CheckpointManager:
             len(checkpoint.state.items) if checkpoint is not None else 0
         )
         replica.cpu.submit(
-            cost, lambda: replica.network.send(replica.node_id, peer, response)
+            cost, replica.network.send, replica.node_id, peer, response
         )
 
     # ------------------------------------------------------------------

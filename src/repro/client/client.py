@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Type
 
 from repro.network.network import Network
 from repro.plugins import Registry
-from repro.sim.events import Event, EventScheduler
+from repro.sim.events import EventScheduler
 from repro.sim.random import RandomStreams
 from repro.types.messages import ClientReply, ClientRequest, Message
 from repro.types.sizes import SizeModel
@@ -82,8 +82,10 @@ class ClientBase:
         self.metrics = metrics
         self.request_timeout = request_timeout
 
+        # The per-client stream is fixed for the client's lifetime; cache it
+        # instead of re-resolving the name on every request.
+        self._rng = streams.get(f"client:{self.client_id}")
         self._outstanding: Dict[str, float] = {}
-        self._timers: Dict[str, Event] = {}
         self._stop_time: Optional[float] = None
         self.requests_sent = 0
         self.replies_committed = 0
@@ -149,13 +151,15 @@ class ClientBase:
     # request submission and reply handling
     # ------------------------------------------------------------------
     def _submit_request(self) -> Optional[str]:
-        if not self._issuing_allowed():
+        now = self.scheduler.now
+        stop = self._stop_time
+        if stop is not None and now >= stop:
             return None
-        rng = self.streams.get(f"client:{self.client_id}")
+        rng = self._rng
         operation = self.workload.operation_for(rng.random())
         transaction = Transaction.create(
             client_id=self.client_id,
-            created_at=self.scheduler.now,
+            created_at=now,
             payload_size=self.workload.payload_size,
             operation=operation,
             key=f"k{rng.randrange(self.workload.key_space)}",
@@ -171,10 +175,11 @@ class ClientBase:
             size_bytes=self.size_model.client_request_size(transaction.payload_size),
             transaction=transaction,
         )
-        self._outstanding[transaction.txid] = self.scheduler.now
-        self._timers[transaction.txid] = self.scheduler.call_after(
-            self.request_timeout, self._expire, transaction.txid
-        )
+        self._outstanding[transaction.txid] = now
+        # Handle-free timeout: cheaper than allocating a cancellable Event per
+        # request.  A reply does not cancel anything — the post fires later and
+        # finds the txid gone from _outstanding, which makes it a no-op.
+        self.scheduler.post_after(self.request_timeout, self._expire, transaction.txid)
         self.requests_sent += 1
         self.network.send(self.client_id, replica, request)
         return transaction.txid
@@ -188,8 +193,9 @@ class ClientBase:
         issues a replacement request to another randomly chosen replica.
         """
         if self._outstanding.pop(txid, None) is None:
+            # Already replied (or already expired): the timeout post for a
+            # finished request is deliberately left to fire as a no-op.
             return
-        self._timers.pop(txid, None)
         self.requests_timed_out += 1
         if self.metrics is not None:
             self.metrics.record_timeout(txid, self.scheduler.now)
@@ -200,16 +206,13 @@ class ClientBase:
 
     def deliver(self, message: Message) -> None:
         """Network delivery callback for replies."""
-        if not isinstance(message, ClientReply):
+        if message.__class__ is not ClientReply and not isinstance(message, ClientReply):
             return
         sent_at = self._outstanding.pop(message.txid, None)
         if sent_at is None:
             # Duplicate reply, or a reply for a request the client already
             # gave up on; ignore.
             return
-        timer = self._timers.pop(message.txid, None)
-        if timer is not None:
-            timer.cancel()
         if message.status == "committed":
             self.replies_committed += 1
             latency = self.scheduler.now - sent_at

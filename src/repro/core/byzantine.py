@@ -201,7 +201,7 @@ class EquivocatingReplica(Replica):
             self.honest_fallbacks += 1
             parent = self.forest.get_block(plan.parent_id)
             block = make_block(view, parent, plan.qc, self.node_id, batch)
-            self.cpu.submit(cost, lambda: self._broadcast_proposal(block, view, batch))
+            self.cpu.submit(cost, self._broadcast_proposal, block, view, batch)
             return
         mid = len(batch) // 2
         halves = (batch[:mid], batch[mid:])
@@ -212,7 +212,7 @@ class EquivocatingReplica(Replica):
         self._equiv_tips[0] = blocks[0].block_id
         self._equiv_tips[1] = blocks[1].block_id
         self.equivocations += 1
-        self.cpu.submit(cost, lambda: self._send_equivocation(blocks, groups, view, batch))
+        self.cpu.submit(cost, self._send_equivocation, blocks, groups, view, batch)
 
     def _send_equivocation(
         self,
@@ -227,7 +227,7 @@ class EquivocatingReplica(Replica):
             return
         for block, group in zip(blocks, groups):
             qc_signers = len(block.qc.signers) if block.qc is not None else 0
-            size = self.size_model.block_size_for(block.transactions, qc_signers)
+            size = self.size_model.proposal_size(block, qc_signers)
             message = ProposalMessage(
                 sender=self.node_id, size_bytes=size, block=block, view=view
             )

@@ -90,19 +90,35 @@ def available_message_handlers() -> List[str]:
     return MESSAGE_HANDLERS.available()
 
 
+# Per-message-class resolution cache for dispatch().  Every delivered message
+# pays a registry lookup (name normalization + two dict hops) without it; the
+# registry's version counter detects (un)registrations, so plugin churn in
+# tests invalidates the cache instead of leaking stale handlers.
+_DISPATCH_CACHE: dict = {}
+_DISPATCH_CACHE_VERSION = -1
+_MISSING = object()
+
+
 def dispatch(replica, message: Message) -> bool:
     """Charge CPU and run the registered handler for ``message``.
 
     Returns True if a handler was found; unknown message kinds are ignored
     (they are not addressed to replicas).
     """
-    kind = type(message).__name__
-    if kind not in MESSAGE_HANDLERS:
+    global _DISPATCH_CACHE_VERSION
+    cache = _DISPATCH_CACHE
+    if _DISPATCH_CACHE_VERSION != MESSAGE_HANDLERS.version:
+        cache.clear()
+        _DISPATCH_CACHE_VERSION = MESSAGE_HANDLERS.version
+    cls = message.__class__
+    entry = cache.get(cls, _MISSING)
+    if entry is _MISSING:
+        kind = cls.__name__
+        entry = MESSAGE_HANDLERS.get(kind) if kind in MESSAGE_HANDLERS else None
+        cache[cls] = entry
+    if entry is None:
         return False
-    entry = MESSAGE_HANDLERS.get(kind)
-    replica.cpu.submit(
-        entry.cost_for(replica, message), lambda: entry.handle(replica, message)
-    )
+    replica.cpu.submit(entry.cost_for(replica, message), entry.handle, replica, message)
     return True
 
 

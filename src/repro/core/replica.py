@@ -332,6 +332,14 @@ class Replica:
         self.network.send(self.node_id, dst, message)
 
     def _broadcast(self, message: Message, include_self: bool = False) -> None:
+        if type(self)._send is Replica._send:
+            # No per-destination interception installed: hand the whole
+            # fanout to the network's batched broadcast (identical delivery
+            # timestamps to the loop below, a fraction of the bookkeeping).
+            self.network.broadcast(
+                self.node_id, self.peers, message, include_self=include_self
+            )
+            return
         for dst in self.peers:
             if dst == self.node_id and not include_self:
                 continue
@@ -343,6 +351,16 @@ class Replica:
         """CPU service time for validating an incoming message."""
         if message.sender == self.node_id:
             return LOOPBACK_CPU_COST
+        # Exact-class checks first (message kinds are concrete classes on the
+        # hot path, most frequent kind first); isinstance fallback keeps
+        # subclassed plugin messages charged like their base kind.
+        cls = message.__class__
+        if cls is ClientRequest:
+            return CLIENT_REQUEST_CPU_COST
+        if cls is VoteMessage:
+            return self.cost_model.vote_verify_cost()
+        if cls is ProposalMessage:
+            return self.cost_model.proposal_verify_cost(message.block.num_transactions)
         if isinstance(message, ClientRequest):
             return CLIENT_REQUEST_CPU_COST
         if isinstance(message, ProposalMessage):
@@ -360,23 +378,29 @@ class Replica:
         transaction = message.transaction
         self.stats.client_requests += 1
         self._origin_clients[transaction.txid] = message.sender
-        if self.kvstore.was_applied(transaction.txid):
-            self._reply(transaction.txid, status="committed")
+        if self.kvstore.transaction_applied(transaction):
+            self._reply(transaction, status="committed")
             return
         accepted = self.mempool.add(transaction)
         if not accepted:
             self.stats.client_rejections += 1
-            self._reply(transaction.txid, status="rejected")
+            self._reply(transaction, status="rejected")
 
-    def _reply(self, txid: str, status: str) -> None:
+    def _reply(self, transaction: Transaction, status: str) -> None:
+        txid = transaction.txid
         client = self._origin_clients.get(txid)
-        if client is None or txid in self._replied_txids:
+        if client is None:
             return
         if status == "committed":
-            self._replied_txids.add(txid)
+            # add_transaction doubles as the already-replied check: it
+            # returns False when the id was recorded by an earlier reply.
+            if not self._replied_txids.add_transaction(transaction):
+                return
             # A committed transaction is done with reply routing; dropping
             # the entry eagerly keeps the origin index at in-flight size.
             self._origin_clients.pop(txid)
+        elif self._replied_txids.contains_transaction(transaction):
+            return
         reply = ClientReply(
             sender=self.node_id,
             size_bytes=self.size_model.client_reply_size,
@@ -439,7 +463,7 @@ class Replica:
         if not self.safety.should_vote(block):
             return
         self.safety.record_vote_sent(block)
-        self.cpu.submit(self.cost_model.vote_build_cost(), lambda: self._send_vote(block))
+        self.cpu.submit(self.cost_model.vote_build_cost(), self._send_vote, block)
 
     def _send_vote(self, block: Block) -> None:
         digest = vote_digest(block.block_id, block.view)
@@ -535,13 +559,20 @@ class Replica:
             if self.metrics is not None:
                 self.metrics.record_safety_violation(self.node_id)
             return
+        # Hot loop: every committed transaction on every replica passes
+        # through here.  Only the replica that received the client request
+        # holds an origin entry, so the membership test skips the _reply call
+        # entirely on the other n-1 replicas.
+        apply = self.kvstore.apply
+        origin_entries = self._origin_clients._entries
         for vertex in newly:
             block = vertex.block
             self.stats.blocks_committed += 1
             self.stats.transactions_committed += block.num_transactions
             for transaction in block.transactions:
-                self.kvstore.apply(transaction)
-                self._reply(transaction.txid, status="committed")
+                apply(transaction)
+                if transaction.txid in origin_entries:
+                    self._reply(transaction, status="committed")
             self.mempool.mark_committed(block.transactions)
             if self.metrics is not None:
                 self.metrics.record_block_committed(
@@ -554,6 +585,12 @@ class Replica:
             self._recycle_forks()
         if newly:
             self.checkpoint.on_commit()
+            # Vote/timeout state below the committed view can never certify
+            # anything again; dropping it bounds both trackers by the view
+            # window in flight instead of the run length.
+            committed_view = newly[-1].block.view
+            self.quorum.prune_below(committed_view)
+            self.pacemaker.timeout_tracker.prune_below(committed_view)
 
     def _recycle_forks(self) -> None:
         removed = self.forest.prune(self.forest.committed_height)
@@ -562,7 +599,7 @@ class Replica:
         recyclable: List[Transaction] = []
         for vertex in removed:
             for transaction in vertex.block.transactions:
-                if self.kvstore.was_applied(transaction.txid):
+                if self.kvstore.transaction_applied(transaction):
                     continue
                 if transaction.txid not in self._origin_clients:
                     continue
@@ -590,7 +627,7 @@ class Replica:
             self._propose(view)
 
     def _on_local_timeout(self, view: int) -> None:
-        self.cpu.submit(self.cost_model.timeout_build_cost(), lambda: self._send_timeout(view))
+        self.cpu.submit(self.cost_model.timeout_build_cost(), self._send_timeout, view)
 
     def _send_timeout(self, view: int) -> None:
         if view != self.pacemaker.current_view:
@@ -635,7 +672,7 @@ class Replica:
         batch = self.mempool.next_batch(self.settings.block_size)
         block = make_block(view, parent, plan.qc, self.node_id, batch)
         cost = self.cost_model.proposal_build_cost(len(batch))
-        self.cpu.submit(cost, lambda: self._broadcast_proposal(block, view, batch))
+        self.cpu.submit(cost, self._broadcast_proposal, block, view, batch)
 
     def _broadcast_proposal(self, block: Block, view: int, batch: Tuple[Transaction, ...]) -> None:
         if view != self.pacemaker.current_view:
@@ -645,7 +682,7 @@ class Replica:
             self.mempool.requeue_front(batch)
             return
         qc_signers = len(block.qc.signers) if block.qc is not None else 0
-        size = self.size_model.block_size_for(block.transactions, qc_signers)
+        size = self.size_model.proposal_size(block, qc_signers)
         message = ProposalMessage(
             sender=self.node_id, size_bytes=size, block=block, view=view
         )

@@ -32,6 +32,23 @@ def digest_many(fields: Iterable[Hashable]) -> str:
     return digest_fields(*fields)
 
 
+def digest_strings(fields: Iterable[str]) -> str:
+    """Digest an iterable of strings; equals ``digest_fields(*fields)``.
+
+    Specialized for the block-id hot path (one digest over every txid in a
+    block): the frames are assembled into a single buffer and hashed with
+    one C-level update instead of two per field.
+    """
+    parts = []
+    append = parts.append
+    for field in fields:
+        encoded = field.encode("utf-8")
+        append((len(encoded) + 1).to_bytes(4, "big"))
+        append(b"S")
+        append(encoded)
+    return hashlib.sha256(b"".join(parts)).hexdigest()
+
+
 def _encode(field: Hashable) -> bytes:
     if field is None:
         return b"N"

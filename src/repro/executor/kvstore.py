@@ -73,7 +73,7 @@ class _Session:
 
     def add(self, seq: int, window: int) -> bool:
         """Record one applied sequence; False if it already counted as applied."""
-        if seq in self:
+        if seq <= self.floor or seq in self.pending:
             return False
         self.pending.add(seq)
         if len(self.pending) > window:
@@ -142,6 +142,53 @@ class TxidDedup:
             self._extras.popitem(last=False)
         return True
 
+    def contains_transaction(self, transaction: Transaction) -> bool:
+        """Parse-free :meth:`__contains__` for a live :class:`Transaction`.
+
+        Uses the transaction's own ``(client_id, sequence)`` pair when its
+        txid is canonical (validated once per object via
+        :attr:`Transaction.canonical_session`) instead of re-parsing the id
+        string at every replica.
+        """
+        session_key = transaction.canonical_session
+        if session_key is None:
+            return transaction.txid in self._extras
+        session = self._sessions.get(session_key[0])
+        return session is not None and session_key[1] in session
+
+    def add_transaction(self, transaction: Transaction) -> bool:
+        """Parse-free :meth:`add` for a live :class:`Transaction`.
+
+        The session update is inlined (rather than delegated to
+        :meth:`_Session.add`) because this runs once per committed
+        transaction per replica — the single hottest state-machine call.
+        """
+        session_key = transaction.canonical_session
+        if session_key is None:
+            return self.add(transaction.txid)
+        client, seq = session_key
+        session = self._sessions.get(client)
+        if session is None:
+            session = self._sessions[client] = _Session()
+        if seq <= session.floor or seq in session.pending:
+            return False
+        pending = session.pending
+        pending.add(seq)
+        if len(pending) > self.window:
+            self._shrink(session)
+        return True
+
+    def _shrink(self, session: _Session) -> None:
+        """Halve an overflowing session window (rare: amortized O(1) per add).
+
+        Keeps the most recent half exactly; everything at or below the new
+        floor becomes "applied" by fiat.
+        """
+        ordered = sorted(session.pending)
+        dropped = ordered[: len(ordered) - self.window // 2]
+        session.floor = dropped[-1]
+        session.pending = set(ordered[len(dropped):])
+
     def entry_count(self) -> int:
         """Sequences + floors + extras currently held (the memory bound)."""
         return len(self._extras) + sum(
@@ -201,16 +248,34 @@ class KeyValueStore:
         Re-applying a transaction id is a no-op: commits are idempotent so a
         transaction that appears both in a forked block and in the main chain
         only takes effect once.
+
+        The canonical-id dedup update is inlined from
+        :meth:`TxidDedup.add_transaction` — apply runs once per committed
+        transaction per replica, the hottest state-machine call.
         """
-        if not self._applied.add(transaction.txid):
+        applied = self._applied
+        session_key = transaction.canonical_session
+        if session_key is not None:
+            client, seq = session_key
+            session = applied._sessions.get(client)
+            if session is None:
+                session = applied._sessions[client] = _Session()
+            if seq <= session.floor or seq in session.pending:
+                return None
+            pending = session.pending
+            pending.add(seq)
+            if len(pending) > applied.window:
+                applied._shrink(session)
+        elif not applied.add(transaction.txid):
             return None
         self.operations_applied += 1
-        if transaction.operation == "put":
+        operation = transaction.operation
+        if operation == "put":
             self._data[transaction.key] = transaction.value
             return None
-        if transaction.operation == "get":
+        if operation == "get":
             return self._data.get(transaction.key)
-        if transaction.operation == "delete":
+        if operation == "delete":
             self._data.pop(transaction.key, None)
             return None
         raise ValueError(f"unknown operation {transaction.operation!r}")
@@ -222,6 +287,10 @@ class KeyValueStore:
     def was_applied(self, txid: str) -> bool:
         """True if the transaction id has already been executed."""
         return txid in self._applied
+
+    def transaction_applied(self, transaction: Transaction) -> bool:
+        """Parse-free :meth:`was_applied` for a live :class:`Transaction`."""
+        return self._applied.contains_transaction(transaction)
 
     def dedup_entries(self) -> int:
         """Dedup-index entries currently held (bounded, see module docs)."""

@@ -96,14 +96,18 @@ class Mempool:
 
     def mark_committed(self, transactions: Iterable[Transaction]) -> None:
         """Forget transactions that have been committed (garbage collection)."""
+        proposed = self._proposed_ids
+        pending = self._pending_ids
+        queue = self._queue
         for tx in transactions:
-            self._proposed_ids.discard(tx.txid)
-            if tx.txid in self._pending_ids:
+            txid = tx.txid
+            proposed.discard(txid)
+            if txid in pending:
                 # Committed via another replica's proposal while still queued
                 # locally; drop the local copy to avoid proposing a duplicate.
-                self._pending_ids.discard(tx.txid)
+                pending.discard(txid)
                 try:
-                    self._queue.remove(tx)
+                    queue.remove(tx)
                 except ValueError:
                     pass
 

@@ -8,6 +8,23 @@ The propagation delay is ``base_delay + extra_delay (+ fluctuation)`` where
 ``base_delay`` models the data-center LAN and ``extra_delay`` is the
 configurable ``delay`` parameter of Table I.  Per-node slow-downs (the "slow"
 run-time command) and partitions are applied before a message is accepted.
+
+Two delivery pipelines implement the same model:
+
+* The **fast path** runs whenever no fault condition is installed (no
+  partitions, fluctuation windows, slow factors, or crashed nodes).  It
+  reserves the egress NIC analytically, samples the propagation delay at
+  send time, and posts a single arrival entry per destination; the arrival
+  reserves the ingress NIC and posts the delivery.  Two handle-free heap
+  tuples per message, no closures.
+* The **fault path** keeps the full event chain (egress completion →
+  propagate → arrive → deliver) so fluctuation windows and slow factors are
+  evaluated at the moment the message leaves the sender's NIC, exactly as
+  before.
+
+Both paths draw base/extra delay samples from the same ``"network"``
+stream; the fast path draws them at send time (the draw order is the send
+order), the fault path at egress completion as before.
 """
 
 from __future__ import annotations
@@ -43,8 +60,9 @@ class NetworkStats:
     def record_send(self, message: Message) -> None:
         self.messages_sent += 1
         self.bytes_sent += message.size_bytes
-        kind = type(message).__name__
-        self.per_type_counts[kind] = self.per_type_counts.get(kind, 0) + 1
+        kind = message.__class__.__name__
+        counts = self.per_type_counts
+        counts[kind] = counts.get(kind, 0) + 1
 
 
 class Network:
@@ -67,6 +85,7 @@ class Network:
         self.local_delivery_delay = local_delivery_delay
         self.stats = NetworkStats()
 
+        self._rng = streams.get("network")
         self._handlers: Dict[str, DeliveryHandler] = {}
         self._egress: Dict[str, NetworkInterface] = {}
         self._ingress: Dict[str, NetworkInterface] = {}
@@ -74,6 +93,10 @@ class Network:
         self._fluctuations: List[FluctuationWindow] = []
         self._partitions: List[Partition] = []
         self._crashed: set[str] = set()
+        # Per-network message-id counter: ids are stamped on first send so
+        # repeated runs in one process assign identical ids (no process-global
+        # state leaks across runs).
+        self._message_seq = 0
 
     # ------------------------------------------------------------------
     # membership
@@ -126,7 +149,9 @@ class Network:
     def heal_partitions(self, now: Optional[float] = None) -> int:
         """Close every partition active at ``now`` (default: current time).
 
-        Returns the number of partitions healed.
+        Returns the number of partitions healed.  Healed partitions are
+        pruned from the scan list (along with any that already expired), so
+        subsequent sends stop consulting them.
         """
         if now is None:
             now = self.scheduler.now
@@ -135,7 +160,26 @@ class Network:
             if partition.active(now):
                 partition.end = now
                 healed += 1
+        self._prune_expired(now)
         return healed
+
+    def _prune_expired(self, now: float) -> None:
+        """Drop partitions and fluctuation windows that can never act again.
+
+        Both lists are scanned on every fault-path send, so long fuzz
+        campaigns would otherwise pay O(total fault history) per message.
+        Pruning also re-arms the fast path once every fault has expired.
+        """
+        partitions = self._partitions
+        if partitions:
+            live = [p for p in partitions if p.end is None or now < p.end]
+            if len(live) != len(partitions):
+                self._partitions = live
+        fluctuations = self._fluctuations
+        if fluctuations:
+            live_windows = [w for w in fluctuations if now < w.end]
+            if len(live_windows) != len(fluctuations):
+                self._fluctuations = live_windows
 
     def crash(self, node_id: str) -> None:
         """Crash an endpoint: all traffic to and from it is dropped."""
@@ -154,56 +198,174 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, message: Message) -> None:
         """Send ``message`` from ``src`` to ``dst`` through NICs and the wire."""
-        if src not in self._handlers:
+        handlers = self._handlers
+        if src not in handlers:
             raise KeyError(f"unknown sender {src!r}")
-        if dst not in self._handlers:
+        if dst not in handlers:
             raise KeyError(f"unknown destination {dst!r}")
-        self.stats.record_send(message)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += message.size_bytes
+        counts = stats.per_type_counts
+        kind = message.__class__.__name__
+        counts[kind] = counts.get(kind, 0) + 1
+        if message.message_id < 0:
+            self._message_seq += 1
+            message.message_id = self._message_seq
+        if self._partitions or self._fluctuations or self._slow_factor or self._crashed:
+            self._send_faulty(src, dst, message)
+            return
+        if src == dst:
+            # Loopback skips the NICs; a replica talking to itself (e.g. the
+            # leader "sending" its own vote) costs only a context switch.
+            self.scheduler.post_after(self.local_delivery_delay, self._deliver, dst, message)
+            return
+        rng = self._rng
+        delay = self.base_delay.sample(rng)
+        extra = self.extra_delay
+        if type(extra) is not NoDelay:
+            delay += extra.sample(rng)
+        # Egress reservation inlined from NetworkInterface.reserve — this is
+        # the single busiest line in the simulator (one per unicast message).
+        egress = self._egress[src]
+        size = message.size_bytes
+        service_time = egress.fixed_overhead + size / egress.bandwidth_bps
+        egress.bytes_transferred += size
+        egress.messages_transferred += 1
+        egress.busy_reserved += service_time
+        free_at = egress.free_at
+        now = self.scheduler.now
+        completion = (free_at if free_at > now else now) + service_time
+        egress.free_at = completion
+        self.scheduler.post_at(completion + delay, self._arrive_fast, dst, message)
+
+    def broadcast(self, src: str, targets: List[str], message: Message, include_self: bool = False) -> None:
+        """Send ``message`` to every node in ``targets`` (and optionally ``src``).
+
+        On the fault-free path the whole batch is processed in one pass: the
+        egress NIC is reserved once per destination (the copies still
+        serialize) and each destination gets a single arrival entry, with
+        delay samples drawn in destination order — byte-identical delivery
+        timestamps to looping :meth:`send`, at a fraction of the per-message
+        bookkeeping.  Any installed fault condition falls back to the full
+        per-message pipeline.
+        """
+        if self._partitions or self._fluctuations or self._slow_factor or self._crashed:
+            for dst in targets:
+                if dst == src and not include_self:
+                    continue
+                self.send(src, dst, message)
+            if include_self and src not in targets:
+                self.send(src, src, message)
+            return
+        handlers = self._handlers
+        if src not in handlers:
+            raise KeyError(f"unknown sender {src!r}")
+        if message.message_id < 0:
+            self._message_seq += 1
+            message.message_id = self._message_seq
+        egress = self._egress[src]
+        rng = self._rng
+        base_sample = self.base_delay.sample
+        extra = self.extra_delay
+        extra_sample = None if type(extra) is NoDelay else extra.sample
+        post_at = self.scheduler.post_at
+        size = message.size_bytes
+        arrive = self._arrive_fast
+        sent_self = False
+        fanout = 0
+        wire = 0
+        # Batched egress reservation: the copies still serialize behind one
+        # another (free_at advances by one service time per copy, exactly as
+        # NetworkInterface.reserve would), but the NIC's counters are settled
+        # once per fanout instead of once per copy.
+        service_time = egress.fixed_overhead + size / egress.bandwidth_bps
+        free_at = egress.free_at
+        now = self.scheduler.now
+        if free_at < now:
+            free_at = now
+        for dst in targets:
+            if dst == src:
+                if not include_self:
+                    continue
+                sent_self = True
+                fanout += 1
+                self.scheduler.post_after(self.local_delivery_delay, self._deliver, dst, message)
+                continue
+            if dst not in handlers:
+                raise KeyError(f"unknown destination {dst!r}")
+            fanout += 1
+            wire += 1
+            delay = base_sample(rng)
+            if extra_sample is not None:
+                delay += extra_sample(rng)
+            free_at += service_time
+            post_at(free_at + delay, arrive, dst, message)
+        if wire:
+            egress.free_at = free_at
+            egress.busy_reserved += wire * service_time
+            egress.bytes_transferred += wire * size
+            egress.messages_transferred += wire
+        if include_self and not sent_self:
+            fanout += 1
+            self.scheduler.post_after(self.local_delivery_delay, self._deliver, src, message)
+        stats = self.stats
+        stats.messages_sent += fanout
+        stats.bytes_sent += fanout * size
+        counts = stats.per_type_counts
+        kind = message.__class__.__name__
+        counts[kind] = counts.get(kind, 0) + fanout
+
+    # ------------------------------------------------------------------
+    # fast-path pipeline (no faults installed when the message was sent)
+    # ------------------------------------------------------------------
+    def _arrive_fast(self, dst: str, message: Message) -> None:
+        if dst in self._crashed:
+            # The destination crashed while the message was on the wire.
+            self.stats.messages_dropped += 1
+            return
+        # transfer() inlined (reserve + post): one fewer call per arrival.
+        ingress = self._ingress[dst]
+        self.scheduler.post_at(
+            ingress.reserve(message.size_bytes), self._deliver, dst, message
+        )
+
+    # ------------------------------------------------------------------
+    # fault-path pipeline (full event chain, conditions evaluated en route)
+    # ------------------------------------------------------------------
+    def _send_faulty(self, src: str, dst: str, message: Message) -> None:
+        now = self.scheduler.now
+        self._prune_expired(now)
         if src in self._crashed or dst in self._crashed:
             self.stats.messages_dropped += 1
             return
-        now = self.scheduler.now
         for partition in self._partitions:
             if partition.blocks(src, dst, now):
                 self.stats.messages_dropped += 1
                 return
         if src == dst:
-            # Loopback skips the NICs; a replica talking to itself (e.g. the
-            # leader "sending" its own vote) costs only a context switch.
-            self.scheduler.call_after(self.local_delivery_delay, self._deliver, dst, message)
+            self.scheduler.post_after(self.local_delivery_delay, self._deliver, dst, message)
             return
-        self._egress[src].transfer(
-            message.size_bytes, lambda: self._propagate(src, dst, message)
-        )
+        self._egress[src].transfer(message.size_bytes, self._propagate, src, dst, message)
 
-    def broadcast(self, src: str, targets: List[str], message: Message, include_self: bool = False) -> None:
-        """Send ``message`` to every node in ``targets`` (and optionally ``src``)."""
-        for dst in targets:
-            if dst == src and not include_self:
-                continue
-            self.send(src, dst, message)
-        if include_self and src not in targets:
-            self.send(src, src, message)
-
-    # ------------------------------------------------------------------
-    # internal pipeline stages
-    # ------------------------------------------------------------------
     def _propagate(self, src: str, dst: str, message: Message) -> None:
-        rng = self.streams.get("network")
+        rng = self._rng
         delay = self.base_delay.sample(rng) + self.extra_delay.sample(rng)
         now = self.scheduler.now
         for window in self._fluctuations:
             if window.active(now):
                 delay += window.sample(rng)
-        factor = max(self._slow_factor.get(src, 1.0), self._slow_factor.get(dst, 1.0))
-        delay *= factor
-        self.scheduler.call_after(delay, self._arrive, src, dst, message)
+        slow = self._slow_factor
+        if slow:
+            factor = max(slow.get(src, 1.0), slow.get(dst, 1.0))
+            delay *= factor
+        self.scheduler.post_after(delay, self._arrive, src, dst, message)
 
     def _arrive(self, src: str, dst: str, message: Message) -> None:
         if dst in self._crashed or src in self._crashed:
             self.stats.messages_dropped += 1
             return
-        self._ingress[dst].transfer(message.size_bytes, lambda: self._deliver(dst, message))
+        self._ingress[dst].transfer(message.size_bytes, self._deliver, dst, message)
 
     def _deliver(self, dst: str, message: Message) -> None:
         if dst in self._crashed:

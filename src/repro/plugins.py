@@ -66,6 +66,9 @@ class Registry(Generic[T]):
         self._aliases: Dict[str, str] = {}
         #: canonical names in registration order.
         self._order: List[str] = []
+        #: Bumped on every add/unregister so callers may cache resolutions
+        #: and cheaply detect staleness (see ``repro.core.dispatch``).
+        self.version = 0
 
     # ------------------------------------------------------------------
     # registration
@@ -102,6 +105,7 @@ class Registry(Generic[T]):
         self._entries[name] = obj
         for key in (name, *aliases):
             self._aliases[normalize_name(key)] = name
+        self.version += 1
         return obj
 
     def register(self, name: str, *aliases: str, override: bool = False) -> Callable[[T], T]:
@@ -118,6 +122,7 @@ class Registry(Generic[T]):
         del self._entries[canonical]
         self._order.remove(canonical)
         self._aliases = {a: c for a, c in self._aliases.items() if c != canonical}
+        self.version += 1
 
     # ------------------------------------------------------------------
     # lookup

@@ -71,6 +71,12 @@ class QuorumTracker:
         Byzantine peer must not be able to replay another replica's signature
         under its own name or against a different block.
         """
+        key = (vote.view, vote.block_id)
+        if key in self._certified:
+            # The certificate already formed; late votes can never change it,
+            # so skip verification (and the digest recompute it entails) and
+            # leave the certified key's vote map alone.
+            return False
         if self.registry is not None:
             if (
                 vote.signature.signer != vote.voter
@@ -79,11 +85,11 @@ class QuorumTracker:
             ):
                 self.invalid_votes += 1
                 return False
-        key = (vote.view, vote.block_id)
-        if vote.voter in self._votes[key]:
+        votes = self._votes[key]
+        if vote.voter in votes:
             self.duplicate_votes += 1
             return False
-        self._votes[key][vote.voter] = vote.signature
+        votes[vote.voter] = vote.signature
         return True
 
     def vote_count(self, view: int, block_id: str) -> int:
@@ -95,10 +101,14 @@ class QuorumTracker:
         key = (view, block_id)
         if key in self._certified:
             return None
-        votes = self._votes.get(key, {})
-        if len(votes) < self.threshold:
+        votes = self._votes.get(key)
+        if votes is None or len(votes) < self.threshold:
             return None
         self._certified.add(key)
+        # The vote map is dead once the certificate forms: voted() rejects
+        # late votes for certified keys, so drop it instead of letting it
+        # accumulate for the rest of the run.
+        del self._votes[key]
         return QuorumCertificate(
             block_id=block_id,
             view=view,
@@ -108,8 +118,28 @@ class QuorumTracker:
 
     def add_and_certify(self, vote: Vote) -> Optional[QuorumCertificate]:
         """Convenience: record a vote, then try to form a certificate."""
-        self.voted(vote)
+        if not self.voted(vote):
+            # Duplicate, invalid, or late (already-certified) vote — nothing
+            # to re-check, and certified() would be a no-op anyway.
+            return None
         return self.certified(vote.view, vote.block_id)
+
+    def prune_below(self, view: int) -> None:
+        """Drop vote state for views below ``view`` (they can never certify).
+
+        Called from the replica's commit path: once a block at ``view``
+        commits, every correct replica has advanced past earlier views, so
+        their pending vote maps are dead weight.  Bounds the tracker's
+        footprint by the view window in flight instead of run length.
+        """
+        votes = self._votes
+        stale = [key for key in votes if key[0] < view]
+        for key in stale:
+            del votes[key]
+        certified = self._certified
+        stale_certified = [key for key in certified if key[0] < view]
+        for key in stale_certified:
+            certified.discard(key)
 
 
 class TimeoutTracker:
@@ -125,6 +155,9 @@ class TimeoutTracker:
 
     def record(self, timeout: Timeout) -> bool:
         """Record a timeout message; returns True if it was new and valid."""
+        if timeout.view in self._certified:
+            # The TC already formed; late timeouts cannot change it.
+            return False
         if self.registry is not None:
             if (
                 timeout.signature.signer != timeout.voter
@@ -133,9 +166,10 @@ class TimeoutTracker:
             ):
                 self.invalid_timeouts += 1
                 return False
-        if timeout.voter in self._timeouts[timeout.view]:
+        timeouts = self._timeouts[timeout.view]
+        if timeout.voter in timeouts:
             return False
-        self._timeouts[timeout.view][timeout.voter] = timeout
+        timeouts[timeout.voter] = timeout
         return True
 
     def timeout_count(self, view: int) -> int:
@@ -146,10 +180,12 @@ class TimeoutTracker:
         """Return a TC once the threshold is reached (only the first time)."""
         if view in self._certified:
             return None
-        timeouts = self._timeouts.get(view, {})
-        if len(timeouts) < self.threshold:
+        timeouts = self._timeouts.get(view)
+        if timeouts is None or len(timeouts) < self.threshold:
             return None
         self._certified.add(view)
+        # Dead once the TC forms (record() rejects late timeouts for it).
+        del self._timeouts[view]
         return TimeoutCertificate(
             view=view,
             signers=frozenset(timeouts),
@@ -159,5 +195,17 @@ class TimeoutTracker:
 
     def add_and_certify(self, timeout: Timeout) -> Optional[TimeoutCertificate]:
         """Convenience: record a timeout, then try to form a certificate."""
-        self.record(timeout)
+        if not self.record(timeout):
+            return None
         return self.certified(timeout.view)
+
+    def prune_below(self, view: int) -> None:
+        """Drop timeout state for views below ``view`` (they can never certify)."""
+        timeouts = self._timeouts
+        stale = [v for v in timeouts if v < view]
+        for v in stale:
+            del timeouts[v]
+        certified = self._certified
+        stale_certified = [v for v in certified if v < view]
+        for v in stale_certified:
+            certified.discard(v)

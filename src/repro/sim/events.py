@@ -4,26 +4,33 @@ The scheduler is a classic calendar queue built on :mod:`heapq`.  Time is a
 ``float`` measured in **seconds** of simulated time.  Events scheduled for the
 same instant execute in the order they were scheduled (a monotonically
 increasing sequence number breaks ties), which keeps runs deterministic.
+
+The API has two tiers:
+
+* :meth:`EventScheduler.call_at` / :meth:`EventScheduler.call_after` return a
+  cancellable :class:`Event` handle and accept keyword arguments — use these
+  for timers (view timeouts, client request timeouts) that may be cancelled.
+* :meth:`EventScheduler.post_at` / :meth:`EventScheduler.post_after` are the
+  fast path: no handle, no kwargs, no :class:`Event` allocation.  The vast
+  majority of simulated events are message hops that nobody ever cancels;
+  posting them costs one plain tuple in the heap and nothing else.
+
+Internally every heap entry is a ``(time, sequence, callback_or_event, args)``
+tuple so heap sift comparisons run at C speed on the leading ``(time,
+sequence)`` pair (``sequence`` is unique, so the third element is never
+compared).  ``args is None`` marks a cancellable :class:`Event` entry —
+posted entries always carry a (possibly empty) argument tuple.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+import sys
 from typing import Any, Callable, Optional
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid interactions with the event scheduler."""
-
-
-@dataclass(order=True)
-class _QueueEntry:
-    """Internal heap entry.  Ordered by (time, sequence)."""
-
-    time: float
-    sequence: int
-    event: "Event" = field(compare=False)
 
 
 class Event:
@@ -92,18 +99,18 @@ class EventScheduler:
     compaction_threshold = 0.5
 
     def __init__(self, start_time: float = 0.0) -> None:
-        self._now = float(start_time)
-        self._heap: list[_QueueEntry] = []
+        #: Current simulated time in seconds.  A plain attribute (not a
+        #: property): it is the single most-read value in the simulator.
+        #: Treat it as read-only outside this class.
+        self.now = float(start_time)
+        # Heap of (time, sequence, callback_or_event, args) tuples; see the
+        # module docstring for the entry encoding.
+        self._heap: list = []
         self._sequence = 0
         self._processed = 0
         self._cancelled = 0
         self._compactions = 0
         self._running = False
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
 
     @property
     def pending_events(self) -> int:
@@ -125,16 +132,49 @@ class EventScheduler:
         """Number of events executed so far."""
         return self._processed
 
+    # ------------------------------------------------------------------
+    # tier 1: cancellable timers
+    # ------------------------------------------------------------------
     def call_at(self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
         """Schedule ``callback`` to run at absolute simulated ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule event in the past: {time:.6f} < now {self._now:.6f}"
+                f"cannot schedule event in the past: {time:.6f} < now {self.now:.6f}"
             )
         event = Event(time, callback, args, kwargs, scheduler=self)
         self._sequence += 1
-        heapq.heappush(self._heap, _QueueEntry(time, self._sequence, event))
+        heapq.heappush(self._heap, (time, self._sequence, event, None))
         return event
+
+    def call_after(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self.now + delay, callback, *args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # tier 2: fire-and-forget posts (the message-hop fast path)
+    # ------------------------------------------------------------------
+    def post_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute ``time`` with no handle.
+
+        Identical execution-order and clock semantics to :meth:`call_at`
+        (same heap, same (time, sequence) ordering), but the entry cannot be
+        cancelled and allocates nothing beyond its heap tuple.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time:.6f} < now {self.now:.6f}"
+            )
+        self._sequence += 1
+        heapq.heappush(self._heap, (time, self._sequence, callback, args))
+
+    def post_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now, no handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, callback, args))
 
     # ------------------------------------------------------------------
     # cancelled-entry bookkeeping and lazy compaction
@@ -156,18 +196,31 @@ class EventScheduler:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without the cancelled entries."""
-        self._heap = [entry for entry in self._heap if not entry.event.cancelled]
-        heapq.heapify(self._heap)
+        """Rebuild the heap without the cancelled entries.
+
+        In place: the run loops hold a local alias to the heap list, so the
+        list object must stay stable across a compaction triggered from
+        inside a callback.
+        """
+        heap = self._heap
+        heap[:] = [
+            entry for entry in heap
+            if entry[3] is not None or not entry[2].cancelled
+        ]
+        heapq.heapify(heap)
         self._cancelled = 0
         self._compactions += 1
 
-    def call_after(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, callback, *args, **kwargs)
+    def _drop_cancelled_head(self) -> None:
+        """Pop cancelled entries off the heap top (they will never run)."""
+        heap = self._heap
+        while heap and heap[0][3] is None and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
 
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
     def run_until(self, horizon: float, max_events: Optional[int] = None) -> int:
         """Run events in timestamp order until ``horizon`` (inclusive).
 
@@ -184,35 +237,40 @@ class EventScheduler:
             raise SimulationError("scheduler is already running (re-entrant run_until)")
         self._running = True
         executed = 0
+        limit = sys.maxsize if max_events is None else max_events
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                entry = self._heap[0]
-                if entry.time > horizon:
+            while heap:
+                entry = heap[0]
+                time = entry[0]
+                if time > horizon:
                     break
-                heapq.heappop(self._heap)
-                event = entry.event
-                if event.cancelled:
-                    self._cancelled -= 1
-                    continue
-                self._now = entry.time
-                event.fired = True
-                event.callback(*event.args, **event.kwargs)
+                pop(heap)
+                args = entry[3]
+                if args is None:
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    self.now = time
+                    event.fired = True
+                    event.callback(*event.args, **event.kwargs)
+                else:
+                    self.now = time
+                    entry[2](*args)
                 executed += 1
-                self._processed += 1
-                if max_events is not None and executed >= max_events:
+                if executed >= limit:
                     break
         finally:
             self._running = False
+            # Batched outside the loop: one counter update per run, not per
+            # event (the count is only read between runs).
+            self._processed += executed
         self._drop_cancelled_head()
-        if self._now < horizon and (not self._heap or self._heap[0].time > horizon):
-            self._now = horizon
+        if self.now < horizon and (not heap or heap[0][0] > horizon):
+            self.now = horizon
         return executed
-
-    def _drop_cancelled_head(self) -> None:
-        """Pop cancelled entries off the heap top (they will never run)."""
-        while self._heap and self._heap[0].event.cancelled:
-            heapq.heappop(self._heap)
-            self._cancelled -= 1
 
     def run_until_idle(self, max_events: Optional[int] = None) -> int:
         """Run until the event queue drains (or ``max_events`` is hit)."""
@@ -220,20 +278,28 @@ class EventScheduler:
             raise SimulationError("scheduler is already running (re-entrant run)")
         self._running = True
         executed = 0
+        limit = sys.maxsize if max_events is None else max_events
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                entry = heapq.heappop(self._heap)
-                event = entry.event
-                if event.cancelled:
-                    self._cancelled -= 1
-                    continue
-                self._now = entry.time
-                event.fired = True
-                event.callback(*event.args, **event.kwargs)
+            while heap:
+                entry = pop(heap)
+                args = entry[3]
+                if args is None:
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    self.now = entry[0]
+                    event.fired = True
+                    event.callback(*event.args, **event.kwargs)
+                else:
+                    self.now = entry[0]
+                    entry[2](*args)
                 executed += 1
-                self._processed += 1
-                if max_events is not None and executed >= max_events:
+                if executed >= limit:
                     break
         finally:
             self._running = False
+            self._processed += executed
         return executed

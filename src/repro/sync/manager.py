@@ -318,8 +318,7 @@ class SyncManager:
         self.stats.blocks_served += len(batch)
         cost = replica.cost_model.sync_response_build_cost(len(batch))
         replica.cpu.submit(
-            cost,
-            lambda: replica.network.send(replica.node_id, message.sender, response),
+            cost, replica.network.send, replica.node_id, message.sender, response
         )
 
     # ------------------------------------------------------------------

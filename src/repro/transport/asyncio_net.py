@@ -84,6 +84,9 @@ class AsyncioTransport:
         self._outbound_writers: Dict[Tuple[str, str], asyncio.StreamWriter] = {}
         self._crashed: Set[str] = set()
         self._started = False
+        #: Per-transport message-id counter (ids never travel the wire; each
+        #: runtime stamps the messages it first carries or decodes).
+        self._message_seq = 0
         #: Handler exceptions surfaced by inbox consumers; the runner
         #: re-raises these so deployment bugs fail runs instead of vanishing
         #: into cancelled-task limbo.
@@ -108,6 +111,9 @@ class AsyncioTransport:
         if src in self._crashed or dst in self._crashed:
             self.stats.messages_dropped += 1
             return
+        if message.message_id < 0:
+            self._message_seq += 1
+            message.message_id = self._message_seq
         self.stats.record_send(message)
         if src == dst:
             # Loopback skips the socket, as the simulated network skips the
@@ -120,9 +126,16 @@ class AsyncioTransport:
     def broadcast(
         self, src: str, targets: Iterable[str], message: Message, include_self: bool = False
     ) -> None:
-        """Send to every target (optionally looping back to the sender)."""
+        """Send to every target (optionally looping back to the sender).
+
+        Same self-delivery semantics as the simulator's ``Network.broadcast``
+        (``Replica._broadcast`` delegates to whichever backend is wired in):
+        the sender only receives its own copy when ``include_self`` is set.
+        """
         targets = list(targets)
         for dst in targets:
+            if dst == src and not include_self:
+                continue
             self.send(src, dst, message)
         if include_self and src not in targets:
             self.send(src, src, message)
@@ -249,6 +262,9 @@ class AsyncioTransport:
                 if node_id in self._crashed:
                     self.stats.messages_dropped += 1
                     continue
+                if message.message_id < 0:
+                    self._message_seq += 1
+                    message.message_id = self._message_seq
                 self._inboxes[node_id].put_nowait(message)
         except (ConnectionError, CodecError, asyncio.CancelledError):
             pass

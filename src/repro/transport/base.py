@@ -59,6 +59,14 @@ class Clock(Protocol):
         """Run ``callback`` at absolute time ``when``."""
         ...
 
+    def post_after(self, delay: float, callback: Callable, *args) -> None:
+        """Run ``callback(*args)`` after ``delay`` seconds, no handle (fast path)."""
+        ...
+
+    def post_at(self, when: float, callback: Callable, *args) -> None:
+        """Run ``callback(*args)`` at absolute time ``when``, no handle."""
+        ...
+
 
 @runtime_checkable
 class Transport(Protocol):

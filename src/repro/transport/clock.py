@@ -78,3 +78,20 @@ class AsyncioClock:
     def call_at(self, when: float, callback: Callable, *args, **kwargs) -> AsyncioTimer:
         """Run ``callback`` at absolute clock time ``when``."""
         return self.call_after(when - self.now, callback, *args, **kwargs)
+
+    def post_after(self, delay: float, callback: Callable, *args) -> None:
+        """Run ``callback(*args)`` after ``delay`` wall seconds, no handle.
+
+        The wall-clock analogue of the scheduler's fire-and-forget tier:
+        nothing to cancel, so no :class:`AsyncioTimer` is allocated.
+        """
+
+        def fire() -> None:
+            self.processed_events += 1
+            callback(*args)
+
+        self._loop.call_later(max(0.0, delay), fire)
+
+    def post_at(self, when: float, callback: Callable, *args) -> None:
+        """Run ``callback(*args)`` at absolute clock time ``when``, no handle."""
+        self.post_after(when - self.now, callback, *args)

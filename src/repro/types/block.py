@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Tuple
 
-from repro.crypto.digest import digest_fields
+from repro.crypto.digest import digest_fields, digest_strings
 from repro.types.certificates import QuorumCertificate
 from repro.types.transaction import Transaction
 
@@ -58,9 +59,14 @@ class Block:
         """Number of transactions batched in this block."""
         return len(self.transactions)
 
-    @property
+    @cached_property
     def payload_bytes(self) -> int:
-        """Total extra payload bytes carried by the block's transactions."""
+        """Total extra payload bytes carried by the block's transactions.
+
+        Cached on first access (``transactions`` is immutable): the size
+        model consults this on every proposal send, so it must not re-sum
+        the batch each time.
+        """
         return sum(tx.payload_size for tx in self.transactions)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -77,7 +83,7 @@ def compute_block_id(
     transactions: Tuple[Transaction, ...],
 ) -> str:
     """Compute the hash identifier of a block."""
-    tx_digest = digest_fields(*[tx.txid for tx in transactions])
+    tx_digest = digest_strings([tx.txid for tx in transactions])
     return digest_fields("block", view, parent_id, proposer, tx_digest)
 
 

@@ -26,13 +26,26 @@ class SizeModel:
     client_reply_size: int = 96
     timeout_message_size: int = 120
 
+    def __post_init__(self) -> None:
+        # Per-kind constants are consulted on every simulated send, so the
+        # fixed ones are folded once and qc_size is memoized per signer count
+        # (a run only ever sees a handful of distinct quorum sizes).
+        self._vote_size = self.hash_size + self.view_number_size + self.signature_size
+        self._qc_header = self.hash_size + self.view_number_size
+        self._qc_sizes: dict = {}
+
     def transaction_size(self, payload_size: int) -> int:
         """Serialized size of one transaction with ``payload_size`` extra bytes."""
         return self.tx_header_size + payload_size
 
     def qc_size(self, num_signers: int) -> int:
         """Serialized size of a quorum certificate with ``num_signers`` votes."""
-        return self.hash_size + self.view_number_size + num_signers * self.signature_size
+        size = self._qc_sizes.get(num_signers)
+        if size is None:
+            size = self._qc_sizes[num_signers] = (
+                self._qc_header + num_signers * self.signature_size
+            )
+        return size
 
     def block_size(self, num_transactions: int, payload_size: int, qc_signers: int) -> int:
         """Serialized size of a proposal carrying a block and its embedded QC."""
@@ -50,9 +63,23 @@ class SizeModel:
             + sum(self.transaction_size(tx.payload_size) for tx in transactions)
         )
 
+    def proposal_size(self, block, qc_signers: int) -> int:
+        """Serialized size of a proposal carrying ``block`` (cached payload).
+
+        Equivalent to ``block_size_for(block.transactions, qc_signers)`` but
+        uses the block's cached payload total instead of re-summing the
+        batch on every send.
+        """
+        return (
+            self.block_header_size
+            + self.qc_size(qc_signers)
+            + block.num_transactions * self.tx_header_size
+            + block.payload_bytes
+        )
+
     def vote_size(self) -> int:
         """Serialized size of a vote message."""
-        return self.hash_size + self.view_number_size + self.signature_size
+        return self._vote_size
 
     def client_request_size(self, payload_size: int) -> int:
         """Serialized size of a client request."""
@@ -95,8 +122,8 @@ class SizeModel:
             self.block_header_size
             + self.qc_size(tip_qc_signers)
             + sum(
-                self.block_size_for(
-                    block.transactions,
+                self.proposal_size(
+                    block,
                     len(block.qc.signers) if block.qc is not None else 0,
                 )
                 for block in blocks

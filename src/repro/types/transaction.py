@@ -3,13 +3,12 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Optional
+from functools import cached_property
+from typing import Optional, Tuple
 
 _COUNTER = itertools.count()
 
 
-@dataclass(frozen=True)
 class Transaction:
     """A client operation to be ordered by the blockchain.
 
@@ -18,16 +17,38 @@ class Transaction:
     is the number of *extra* payload bytes attached to the request; it feeds
     the NIC/bandwidth model but its contents are irrelevant, so no actual
     byte string is materialized.
+
+    A plain class rather than a frozen dataclass: transactions are created
+    on the client hot path (one per request), and the frozen-dataclass
+    ``object.__setattr__`` per field costs several times a direct slot
+    write.  Treat instances as immutable all the same — they are shared
+    between the mempool, blocks, and every replica that applies them.
     """
 
-    txid: str
-    client_id: str
-    operation: str = "put"
-    key: str = ""
-    value: str = ""
-    payload_size: int = 0
-    created_at: float = 0.0
-    sequence: int = field(default_factory=lambda: next(_COUNTER))
+    _fields = (
+        "txid", "client_id", "operation", "key", "value",
+        "payload_size", "created_at", "sequence",
+    )
+
+    def __init__(
+        self,
+        txid: str,
+        client_id: str,
+        operation: str = "put",
+        key: str = "",
+        value: str = "",
+        payload_size: int = 0,
+        created_at: float = 0.0,
+        sequence: Optional[int] = None,
+    ) -> None:
+        self.txid = txid
+        self.client_id = client_id
+        self.operation = operation
+        self.key = key
+        self.value = value
+        self.payload_size = payload_size
+        self.created_at = created_at
+        self.sequence = next(_COUNTER) if sequence is None else sequence
 
     @classmethod
     def create(
@@ -50,7 +71,7 @@ class Transaction:
         if sequence is None:
             sequence = next(_COUNTER)
         txid = f"tx-{client_id}-{sequence}"
-        return cls(
+        transaction = cls(
             txid=txid,
             client_id=client_id,
             operation=operation,
@@ -60,6 +81,35 @@ class Transaction:
             created_at=created_at,
             sequence=sequence,
         )
+        # Ids built here are canonical by construction: pre-seed the
+        # cached_property so no consumer pays the lazy f-string check.
+        transaction.__dict__["canonical_session"] = (client_id, sequence)
+        return transaction
+
+    @cached_property
+    def canonical_session(self) -> Optional[Tuple[str, int]]:
+        """``(client_id, sequence)`` when the txid has the canonical shape.
+
+        Computed once per object (each transaction is shared across every
+        replica that applies it), letting the dedup index skip re-parsing
+        the txid string.  ``None`` for hand-built ids that do not match
+        ``tx-<client>-<seq>`` — those fall back to the string paths.
+        """
+        if self.txid == f"tx-{self.client_id}-{self.sequence}":
+            return (self.client_id, self.sequence)
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Transaction:
+            return NotImplemented
+        for name in self._fields:
+            if getattr(self, name) != getattr(other, name):
+                return False
+        return True
 
     def __hash__(self) -> int:
         return hash(self.txid)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}={getattr(self, name)!r}" for name in self._fields)
+        return f"Transaction({parts})"

@@ -57,6 +57,7 @@ from repro.types.certificates import (
     vote_digest,
 )
 from repro.types.messages import (
+    UNASSIGNED_MESSAGE_ID,
     ClientReply,
     ClientRequest,
     ProposalMessage,
@@ -187,9 +188,13 @@ class TestCodec:
         _round_trip(SnapshotResponse(sender="r0", size_bytes=40,
                                      checkpoint=None, responder_height=0))
 
-    def test_decode_mints_a_fresh_message_id(self):
+    def test_decode_returns_an_unstamped_message(self):
+        # Ids never travel the wire: the receiving runtime stamps decoded
+        # messages from its own counter.
         message = SnapshotRequest(sender="r3", size_bytes=32, known_height=0)
-        assert decode_message(encode_message(message)).message_id != message.message_id
+        message.message_id = 7
+        decoded = decode_message(encode_message(message))
+        assert decoded.message_id == UNASSIGNED_MESSAGE_ID
 
     def test_unknown_kind_raises(self):
         with pytest.raises(CodecError):

@@ -4,7 +4,12 @@ import pytest
 
 from repro.types.block import GENESIS_ID, compute_block_id, make_block, make_genesis
 from repro.types.certificates import QuorumCertificate, TimeoutCertificate, timeout_digest, vote_digest
-from repro.types.messages import ClientReply, ProposalMessage, VoteMessage
+from repro.types.messages import (
+    UNASSIGNED_MESSAGE_ID,
+    ClientReply,
+    ProposalMessage,
+    VoteMessage,
+)
 from repro.types.sizes import SizeModel
 from repro.types.transaction import Transaction
 
@@ -92,10 +97,13 @@ class TestCertificates:
 
 
 class TestMessages:
-    def test_messages_get_unique_ids(self):
+    def test_messages_start_unassigned(self):
+        # Ids are stamped by the transport that first carries the message
+        # (see test_network.py), not at construction — construction must not
+        # consult any process-global counter.
         a = ClientReply(sender="r0", size_bytes=10)
         b = ClientReply(sender="r0", size_bytes=10)
-        assert a.message_id != b.message_id
+        assert a.message_id == b.message_id == UNASSIGNED_MESSAGE_ID
 
     def test_client_reply_default_status(self):
         reply = ClientReply(sender="r0", size_bytes=10)

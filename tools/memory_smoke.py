@@ -14,7 +14,10 @@ Runs a 60-second-simulated-time experiment twice — checkpointing off and on
   lazily swept, so the heap tracks live timers, not view-change history);
 * the replica's reply-routing state stays bounded: the origin index holds at
   most its FIFO capacity and the replied-txid dedup at most its per-client
-  floor-plus-window entries, however many transactions committed.
+  floor-plus-window entries, however many transactions committed;
+* the vote and timeout trackers stay bounded: ``Replica._commit`` calls
+  ``prune_below(committed view)`` on both, so entries track the in-flight
+  view window, not the thousands of views the run enters.
 
 Exits non-zero on any violation.  CI runs this as the ``memory-smoke`` job;
 run it locally with ``python tools/memory_smoke.py``.
@@ -40,6 +43,11 @@ INTERVAL = 50
 #: Peak forest bound: the retained window is [checkpoint, head], so one
 #: interval plus the uncommitted in-flight tail.
 FOREST_BOUND = 2 * INTERVAL + 16
+#: Vote/timeout tracker bound: entries live only for views at or above the
+#: last committed view (``prune_below``), so a generous multiple of the
+#: in-flight view window — thousands of views pass through either tracker
+#: over the run.
+TRACKER_BOUND = 64
 
 #: RunMetrics fields that must be bit-identical between the two runs.
 COMMITTED_FIELDS = [
@@ -151,12 +159,35 @@ def main() -> int:
                     f"{label} {replica.node_id}: replied-txid dedup holds "
                     f"{replied} entries (bound {replied_bound})"
                 )
+            votes_held = len(replica.quorum._votes) + len(replica.quorum._certified)
+            timeout_tracker = replica.pacemaker.timeout_tracker
+            timeouts_held = (
+                len(timeout_tracker._timeouts) + len(timeout_tracker._certified)
+            )
+            if votes_held > TRACKER_BOUND:
+                failures.append(
+                    f"{label} {replica.node_id}: quorum tracker holds "
+                    f"{votes_held} entries (bound {TRACKER_BOUND}); "
+                    "prune_below is not keeping up"
+                )
+            if timeouts_held > TRACKER_BOUND:
+                failures.append(
+                    f"{label} {replica.node_id}: timeout tracker holds "
+                    f"{timeouts_held} entries (bound {TRACKER_BOUND}); "
+                    "prune_below is not keeping up"
+                )
     r0 = baseline.replicas["r0"]
     print(
         f"  reply routing (r0): {len(r0._origin_clients)} origin entries "
         f"(cap {ORIGIN_INDEX_CAPACITY}), {r0._replied_txids.entry_count()} "
         f"replied entries (bound {replied_bound}), "
         f"{committed_tx} transactions committed"
+    )
+    print(
+        f"  trackers (r0): {len(r0.quorum._votes) + len(r0.quorum._certified)} "
+        f"vote entries, "
+        f"{len(r0.pacemaker.timeout_tracker._timeouts) + len(r0.pacemaker.timeout_tracker._certified)} "
+        f"timeout entries (bound {TRACKER_BOUND})"
     )
 
     for label, cluster in (("baseline", baseline), ("checkpointed", checked)):

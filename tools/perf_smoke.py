@@ -92,6 +92,32 @@ def measure(config: Configuration, repeats: int) -> dict:
     return best
 
 
+def profile_cases(out_path: Path, top: int = 25) -> None:
+    """cProfile one run per case; write the top-``top`` hot spots to a file.
+
+    The report is uploaded as part of the CI ``perf-smoke`` artifact so a
+    regression caught by the ratchet comes with the profile that explains
+    it, without re-running anything locally.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    sections = []
+    for name, config in CASES:
+        print(f"perf_smoke: profiling {name} ...", flush=True)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_experiment(config)
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("tottime").print_stats(top)
+        sections.append(f"=== {name} (top {top} by self time) ===\n{buffer.getvalue()}")
+    out_path.write_text("\n".join(sections))
+    print(f"perf_smoke: wrote profile report to {out_path}")
+
+
 def _perf_records(results: dict) -> list:
     """Shape per-case results as campaign records the regress layer accepts."""
     return [
@@ -155,6 +181,11 @@ def main(argv=None) -> int:
     parser.add_argument("--ratchet-tolerance", type=float, default=0.5,
                         help="relative drop allowed before the gate fails "
                              "(default 0.5; host timings are noisy)")
+    parser.add_argument("--profile", nargs="?", const="BENCH_perf_profile.txt",
+                        metavar="PATH",
+                        help="also cProfile one run per case and write the "
+                             "top-25 hot spots to PATH "
+                             "(default BENCH_perf_profile.txt next to --out)")
     args = parser.parse_args(argv)
 
     results = {}
@@ -183,6 +214,11 @@ def main(argv=None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(f"perf_smoke: wrote {out}")
+    if args.profile:
+        profile_path = Path(args.profile)
+        if not profile_path.is_absolute() and profile_path.name == str(profile_path):
+            profile_path = out.parent / profile_path
+        profile_cases(profile_path)
     if args.baseline:
         return ratchet(results, Path(args.baseline), args.ratchet_tolerance, args.freeze)
     return 0
