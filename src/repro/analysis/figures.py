@@ -73,6 +73,9 @@ class FigureDef:
     #: entry — instead of the single ``y`` chart.  Panels whose metric is
     #: absent from every record are skipped (at least one must render).
     panels: Optional[Tuple[Tuple[str, str, float], ...]] = None
+    #: Render from *trace* records (repro.obs) instead of campaign records:
+    #: the per-replica view-timeline lane chart.
+    trace: bool = False
 
 
 #: The four headline metrics of the attack figures (13 and 14).  The paper
@@ -155,6 +158,12 @@ FIGURES: Dict[str, FigureDef] = {
             title="Ablation — design choices",
             xlabel="arm", ylabel="throughput (Tx/s)",
             x="_arm", y="throughput_tps", categorical=True,
+        ),
+        FigureDef(
+            key="view_timeline",
+            title="View timeline — per-replica views by outcome",
+            xlabel="time (s)", ylabel="replica",
+            x="time", y="view", trace=True,
         ),
     )
 }
@@ -519,6 +528,157 @@ def render_panels(
 
 
 # ----------------------------------------------------------------------
+# trace view-timeline (repro.obs)
+# ----------------------------------------------------------------------
+#: View-span fill by outcome (Okabe-Ito members for the two active states).
+_OUTCOME_FILL = {
+    "committed": "#009E73",  # green
+    "timeout": "#D55E00",    # vermillion
+    "idle": "#bbbbbb",       # grey
+}
+
+
+def render_view_timeline(
+    trace_records: Sequence,
+    title: str = "View timeline — per-replica views by outcome",
+    width: int = 860,
+) -> str:
+    """Render trace records as a per-replica lane chart (standalone SVG).
+
+    One horizontal lane per replica; each view the replica entered is a
+    rectangle coloured by its outcome (committed / timeout / idle), commit
+    events are tick markers on the lane, and scenario fault events are
+    dashed vertical rules across every lane, labelled at the top.  Input is
+    a sequence of :class:`repro.obs.TraceRecord` (or equivalent 6-tuples),
+    e.g. ``Tracer.records()`` or the rows of a parsed JSONL trace.
+    """
+    from repro.obs.trace import TraceRecord
+    from repro.obs.export import view_spans
+
+    records = [
+        r if isinstance(r, TraceRecord) else TraceRecord(*r) for r in trace_records
+    ]
+    if not records:
+        raise FigureError("nothing to render: the trace is empty")
+    spans = view_spans(records)
+    faults = [r for r in records if r.category == "fault"]
+    commits: Dict[str, List[float]] = {}
+    for record in records:
+        if record.category == "commit":
+            commits.setdefault(record.replica, []).append(record.t)
+    lanes = sorted(set(spans) | set(commits))
+    if not lanes:
+        # A trace of only faults/net records still gets a (single-lane) axis.
+        lanes = sorted({r.replica for r in records})
+    t_lo = min(r.t for r in records)
+    t_hi = max(r.t for r in records)
+    if t_hi <= t_lo:
+        t_hi = t_lo + 1e-6
+
+    lane_h, lane_gap = 26, 10
+    left, right, top, bottom = 84, 24, 56, 84
+    plot_w = width - left - right
+    plot_h = len(lanes) * (lane_h + lane_gap) - lane_gap
+    height = top + plot_h + bottom
+
+    def sx(t: float) -> float:
+        return left + (t - t_lo) / (t_hi - t_lo) * plot_w
+
+    out: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{left}" y="24" {_FONT} font-size="15" font-weight="bold">'
+        f"{_escape(title)}</text>",
+    ]
+
+    lane_y = {
+        replica: top + i * (lane_h + lane_gap) for i, replica in enumerate(lanes)
+    }
+    for replica, y in lane_y.items():
+        out.append(
+            f'<text x="{left - 8}" y="{y + lane_h / 2 + 4:.1f}" {_FONT} '
+            f'font-size="11" text-anchor="end">{_escape(replica)}</text>'
+        )
+        out.append(
+            f'<rect x="{left}" y="{y}" width="{plot_w}" height="{lane_h}" '
+            f'fill="#f4f4f4" stroke="none"/>'
+        )
+        for span in spans.get(replica, ()):
+            x0, x1 = sx(span["start"]), sx(span["end"])
+            fill = _OUTCOME_FILL.get(span["outcome"], "#bbbbbb")
+            out.append(
+                f'<rect x="{x0:.1f}" y="{y + 1}" width="{max(x1 - x0, 0.8):.1f}" '
+                f'height="{lane_h - 2}" fill="{fill}" fill-opacity="0.85" '
+                f'stroke="white" stroke-width="0.5">'
+                f"<title>view {span['view']}: {span['outcome']}</title></rect>"
+            )
+        for t in commits.get(replica, ()):
+            x = sx(t)
+            out.append(
+                f'<line x1="{x:.1f}" y1="{y + 2}" x2="{x:.1f}" y2="{y + lane_h - 2}" '
+                f'stroke="#000000" stroke-width="1.4"/>'
+            )
+
+    for fault in faults:
+        x = sx(fault.t)
+        out.append(
+            f'<line x1="{x:.1f}" y1="{top - 6}" x2="{x:.1f}" y2="{top + plot_h + 6}" '
+            f'stroke="#CC79A7" stroke-width="1.4" stroke-dasharray="4,3"/>'
+        )
+        label = fault.kind if fault.replica == "cluster" else f"{fault.kind} {fault.replica}"
+        out.append(
+            f'<text x="{x + 3:.1f}" y="{top - 10}" {_FONT} font-size="10" '
+            f'fill="#CC79A7">{_escape(label)}</text>'
+        )
+
+    axis_y = top + plot_h + 8
+    out.append(
+        f'<line x1="{left}" y1="{axis_y}" x2="{left + plot_w}" y2="{axis_y}" '
+        f'stroke="#333333" stroke-width="1.2"/>'
+    )
+    for t in _nice_ticks(t_lo, t_hi):
+        if t < t_lo or t > t_hi:
+            continue
+        x = sx(t)
+        out.append(
+            f'<line x1="{x:.1f}" y1="{axis_y}" x2="{x:.1f}" y2="{axis_y + 4}" '
+            f'stroke="#333333" stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{x:.1f}" y="{axis_y + 17}" {_FONT} font-size="11" '
+            f'text-anchor="middle">{_escape(_tick_label(t))}</text>'
+        )
+    out.append(
+        f'<text x="{left + plot_w / 2:.1f}" y="{height - 36}" {_FONT} '
+        f'font-size="12" text-anchor="middle">time (s)</text>'
+    )
+
+    legend_items = [
+        ("committed", _OUTCOME_FILL["committed"]),
+        ("timeout", _OUTCOME_FILL["timeout"]),
+        ("idle", _OUTCOME_FILL["idle"]),
+    ]
+    x = left
+    y = height - 16
+    for label, color in legend_items:
+        out.append(f'<rect x="{x}" y="{y - 9}" width="12" height="10" fill="{color}"/>')
+        out.append(f'<text x="{x + 16}" y="{y}" {_FONT} font-size="11">{label}</text>')
+        x += 100
+    out.append(f'<line x1="{x}" y1="{y - 8}" x2="{x}" y2="{y}" stroke="#000000" stroke-width="1.4"/>')
+    out.append(f'<text x="{x + 6}" y="{y}" {_FONT} font-size="11">commit</text>')
+    x += 100
+    out.append(
+        f'<line x1="{x}" y1="{y - 8}" x2="{x}" y2="{y}" stroke="#CC79A7" '
+        f'stroke-width="1.4" stroke-dasharray="4,3"/>'
+    )
+    out.append(f'<text x="{x + 6}" y="{y}" {_FONT} font-size="11">fault</text>')
+
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
 # high-level entry points
 # ----------------------------------------------------------------------
 def render_figure(
@@ -536,13 +696,16 @@ def render_figure(
     records = list(records)
     if not records:
         raise FigureError("no records to render")
-    campaign = records[0].get("campaign", "")
     if isinstance(figure, str):
         if figure not in FIGURES:
             raise FigureError(
                 f"unknown figure {figure!r}; known: {', '.join(sorted(FIGURES))}"
             )
         figure = FIGURES[figure]
+    if figure is not None and figure.trace:
+        # Trace figures consume repro.obs trace records, not campaign records.
+        return render_view_timeline(records, title=title or figure.title)
+    campaign = records[0].get("campaign", "")
     if figure is None:
         figure = figure_for_campaign(campaign) or replace(_GENERIC, title=campaign or "campaign")
     summaries = aggregate_records(records)

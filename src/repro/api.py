@@ -35,6 +35,12 @@ Everything a user script needs lives here::
     report = api.fuzz(budget=50, seed=0, store="results/")
     assert report.ok, report.violations
 
+    # trace one run: per-replica protocol event records + latency histograms
+    traced = api.trace(config, scenario={"events": [
+        {"kind": "crash-replica", "at": 0.4, "replica": "last"}]})
+    traced.save("run.trace.jsonl")                # deterministic JSONL
+    traced.save("run.perfetto.json", "perfetto")  # open in ui.perfetto.dev
+
     # extend the framework: every extension point is a register_* decorator
     @api.register_protocol("myproto")
     class MyProtocolSafety(Safety): ...
@@ -58,6 +64,7 @@ re-exported per registry:
 ``scenario_events``    ``register_scenario_event``  ``ScenarioEvent``
 ``message_handlers``   ``register_message_handler`` handler callable
 ``oracles``            ``register_oracle``          invariant callable
+``trace_sinks``        ``register_trace_sink``      trace export callable
 =====================  ===========================  =======================
 
 ``docs/EXTENDING.md`` walks through every row with runnable examples —
@@ -95,6 +102,13 @@ from repro.fuzz import (
     run_fuzz,
 )
 from repro.fuzz import audit as _fuzz_audit
+from repro.obs import (
+    TracedRun,
+    Tracer,
+    available_trace_sinks,
+    register_trace_sink,
+    tracing,
+)
 from repro.protocols.registry import available_protocols, register_protocol
 from repro.scenario import (
     Scenario,
@@ -118,6 +132,8 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "SweepPoint",
+    "TracedRun",
+    "Tracer",
     "aggregate",
     "audit",
     "available",
@@ -136,9 +152,12 @@ __all__ = [
     "register_protocol",
     "register_scenario_event",
     "register_strategy",
+    "register_trace_sink",
     "replay",
     "run",
     "sweep",
+    "trace",
+    "tracing",
 ]
 
 ConfigLike = Union[Configuration, Dict]
@@ -286,6 +305,7 @@ def campaign(
     workers: int = 1,
     store: Optional[Union[ResultStore, str, Path]] = None,
     force: bool = False,
+    progress=None,
 ) -> CampaignResult:
     """Run an experiment campaign: expand, execute, persist, resume.
 
@@ -294,6 +314,9 @@ def campaign(
     processes (records are bit-identical to a serial run, persisted as each completes); ``store`` names a
     result-store directory — runs whose content hash is already stored are
     served from it without executing (pass ``force=True`` to re-run).
+    ``progress=True`` prints a live done/total + rate + ETA + straggler line
+    to stderr as each run completes (or pass a
+    :class:`repro.obs.CampaignProgress` to customise it).
     """
     if isinstance(spec, (str, Path)):
         spec = ExperimentSpec.from_json(Path(spec).read_text())
@@ -303,7 +326,9 @@ def campaign(
         raise TypeError(
             f"expected ExperimentSpec, dict, or path, got {type(spec).__name__}"
         )
-    return CampaignRunner(spec, workers=workers, store=store, force=force).run()
+    return CampaignRunner(
+        spec, workers=workers, store=store, force=force, progress=progress
+    ).run()
 
 
 RecordsLike = Union[CampaignResult, ResultStore, Sequence[Dict], str, Path]
@@ -392,6 +417,41 @@ def fuzz(
     )
 
 
+def trace(
+    config: ConfigLike,
+    scenario: ScenarioLike = None,
+    categories=None,
+    capacity: Optional[int] = None,
+    out: Optional[Union[str, Path]] = None,
+    bucket: float = 0.5,
+) -> TracedRun:
+    """Run one experiment with protocol-event tracing enabled.
+
+    Installs a fresh :class:`repro.obs.Tracer` for the duration of the run
+    (restoring any previously installed tracer afterwards) and returns a
+    :class:`repro.obs.TracedRun` bundling the ordinary result with the
+    trace.  ``categories`` filters what is recorded (names, a bitmask, or
+    ``None`` for everything); ``capacity`` bounds the per-replica ring
+    buffers; ``out`` additionally writes the deterministic JSONL dump. ::
+
+        traced = api.trace({"num_nodes": 4, "runtime": 1.0, "seed": 7})
+        print(len(traced.records()))
+        traced.save("run.perfetto.json", "perfetto")
+
+    Tracing never changes run semantics: the result (and any stored
+    record) is identical with tracing on or off.
+    """
+    kwargs = {"categories": categories}
+    if capacity is not None:
+        kwargs["capacity"] = capacity
+    with tracing(**kwargs) as tracer:
+        result = run(config, scenario=scenario, bucket=bucket)
+    traced = TracedRun(result=result, tracer=tracer)
+    if out is not None:
+        traced.save(out)
+    return traced
+
+
 def audit(
     config: ConfigLike,
     scenario: ScenarioLike = None,
@@ -414,7 +474,7 @@ def available(kind: Optional[str] = None) -> Union[Dict[str, List[str]], List[st
     With no argument, returns a dict mapping each extension point to its
     canonical names; with one ("protocols", "strategies", "elections",
     "delay_models", "clients", "scenario_events", "message_handlers",
-    "oracles"), returns that list.
+    "oracles", "trace_sinks"), returns that list.
     """
     listings = {
         "protocols": available_protocols(),
@@ -425,6 +485,7 @@ def available(kind: Optional[str] = None) -> Union[Dict[str, List[str]], List[st
         "scenario_events": available_scenario_events(),
         "message_handlers": available_message_handlers(),
         "oracles": available_oracles(),
+        "trace_sinks": available_trace_sinks(),
     }
     if kind is None:
         return listings

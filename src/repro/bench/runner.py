@@ -29,6 +29,7 @@ from repro.crypto.keys import KeyRegistry
 from repro.election.election import make_election
 from repro.network.delays import NoDelay, NormalDelay
 from repro.network.network import Network
+from repro.obs import trace as obs_trace
 from repro.sim.events import EventScheduler
 from repro.sim.random import RandomStreams
 from repro.sync.manager import SyncSettings, SyncStats
@@ -48,6 +49,10 @@ class Cluster:
     clients: List[ClientBase]
     metrics: MetricsCollector
     observer_id: str
+    #: The installed :class:`repro.obs.Tracer`, or None (tracing disabled).
+    #: Deliberately not part of the Configuration: run ids and stored
+    #: records are identical with tracing on or off.
+    tracer: Optional[object] = None
 
     def honest_replicas(self) -> List[Replica]:
         """Replicas that follow the protocol."""
@@ -203,6 +208,9 @@ def build_cluster(config: Configuration) -> Cluster:
     byzantine = set(config.byzantine_ids())
     observer_id = node_ids[0]
     metrics.observer = observer_id
+    # Pick up the process-global tracer (None unless repro.obs installed one).
+    tracer = obs_trace.ACTIVE
+    network.tracer = tracer
 
     replicas: Dict[str, Replica] = {}
     for node_id in node_ids:
@@ -225,25 +233,27 @@ def build_cluster(config: Configuration) -> Cluster:
         # nodes — are rarely the observer).
         replica.sync.metrics = metrics
         replica.checkpoint.metrics = metrics
+        if tracer is not None:
+            replica.attach_tracer(tracer)
         replicas[node_id] = replica
 
     client_cls = CLIENTS.get(config.resolved_client())
     clients: List[ClientBase] = []
     workload = WorkloadSpec(payload_size=config.payload_size)
     for client_id in config.client_ids():
-        clients.append(
-            client_cls.from_config(
-                client_id,
-                scheduler,
-                network,
-                streams,
-                node_ids,
-                workload=workload,
-                size_model=sizes,
-                metrics=metrics,
-                config=config,
-            )
+        client = client_cls.from_config(
+            client_id,
+            scheduler,
+            network,
+            streams,
+            node_ids,
+            workload=workload,
+            size_model=sizes,
+            metrics=metrics,
+            config=config,
         )
+        client.tracer = tracer
+        clients.append(client)
 
     return Cluster(
         config=config,
@@ -255,6 +265,7 @@ def build_cluster(config: Configuration) -> Cluster:
         clients=clients,
         metrics=metrics,
         observer_id=observer_id,
+        tracer=tracer,
     )
 
 

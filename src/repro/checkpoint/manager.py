@@ -52,6 +52,7 @@ from typing import Optional
 from repro.checkpoint.messages import SnapshotRequest, SnapshotResponse
 from repro.checkpoint.snapshot import Checkpoint
 from repro.forest.forest import ForestError
+from repro.obs import trace as obs_trace
 from repro.types.messages import Message
 
 
@@ -154,6 +155,14 @@ class CheckpointManager:
         if self.metrics is not None:
             self.metrics.record_checkpoint(
                 self.replica.node_id, height, removed, self.replica.scheduler.now
+            )
+        tr = self.replica.tracer
+        if tr is not None:
+            tr.emit(
+                self.replica.scheduler.now, self.replica.node_id,
+                obs_trace.CHECKPOINT, "checkpoint",
+                self.replica.pacemaker.current_view,
+                {"height": height, "truncated": removed},
             )
 
     def current_checkpoint(self) -> Optional[Checkpoint]:
@@ -340,6 +349,13 @@ class CheckpointManager:
         self.stats.snapshots_installed += 1
         if self.metrics is not None:
             self.metrics.record_snapshot_install(replica.node_id, replica.scheduler.now)
+        tr = replica.tracer
+        if tr is not None:
+            tr.emit(
+                replica.scheduler.now, replica.node_id, obs_trace.CHECKPOINT,
+                "snapshot-install", replica.pacemaker.current_view,
+                {"height": checkpoint.height},
+            )
         # Proposals parked on the checkpoint block are live again.
         for child in replica.forest.pop_orphans(checkpoint.block.block_id):
             if child.block_id not in replica.forest:

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Type
 
 from repro.network.network import Network
+from repro.obs import trace as obs_trace
 from repro.plugins import Registry
 from repro.sim.events import EventScheduler
 from repro.sim.random import RandomStreams
@@ -81,6 +82,9 @@ class ClientBase:
         self.size_model = size_model if size_model is not None else SizeModel()
         self.metrics = metrics
         self.request_timeout = request_timeout
+        # Observability (repro.obs): set by the cluster builder when a tracer
+        # is installed.
+        self.tracer = None
 
         # The per-client stream is fixed for the client's lifetime; cache it
         # instead of re-resolving the name on every request.
@@ -218,6 +222,14 @@ class ClientBase:
             latency = self.scheduler.now - sent_at
             if self.metrics is not None:
                 self.metrics.record_latency(message.txid, latency, self.scheduler.now)
+            tr = self.tracer
+            if tr is not None:
+                tr.metrics.observe(self.client_id, "request_to_commit", latency)
+                tr.emit(
+                    self.scheduler.now, self.client_id, obs_trace.CLIENT,
+                    "commit-reply", 0,
+                    {"replica": message.replica, "latency": latency},
+                )
             self._on_committed(message.txid, latency)
         else:
             self.replies_rejected += 1

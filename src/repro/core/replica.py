@@ -42,6 +42,7 @@ from repro.executor.kvstore import DEFAULT_DEDUP_WINDOW, KeyValueStore, TxidDedu
 from repro.forest.forest import BlockForest, ForestError
 from repro.mempool.mempool import Mempool
 from repro.network.network import Network
+from repro.obs import trace as obs_trace
 from repro.pacemaker.pacemaker import Pacemaker, ViewChangeReason
 from repro.protocols.registry import make_safety
 from repro.protocols.safety import ProposalPlan
@@ -243,6 +244,9 @@ class Replica:
             on_local_timeout=self._on_local_timeout,
         )
         self.stats = ReplicaStats()
+        # Observability is off unless a tracer is attached; every hot-path
+        # hook below guards on this falsy sentinel (see repro.obs.trace).
+        self.tracer = None
 
         # Reply routing is bounded: the origin index FIFO-evicts beyond its
         # capacity and the replied-txid dedup keeps per-client floors plus a
@@ -256,6 +260,22 @@ class Replica:
             setattr(self, attr, default)
 
         network.register(node_id, self.deliver)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Wire a :class:`repro.obs.Tracer` through this replica's modules.
+
+        Called by the cluster builders when a tracer is installed
+        (``repro.obs.trace.ACTIVE``); never called on the default path, so
+        untraced replicas keep ``tracer = None`` everywhere and the hot-path
+        checks stay single-``if`` no-ops.
+        """
+        self.tracer = tracer
+        self.pacemaker.tracer = tracer
+        self.quorum.bind_tracer(tracer, self.node_id, self.scheduler)
+        self.timeouts.bind_tracer(tracer, self.node_id, self.scheduler)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -421,6 +441,12 @@ class Replica:
     def _process_proposal(self, message: ProposalMessage) -> None:
         block = message.block
         self.stats.proposals_received += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.scheduler.now, self.node_id, obs_trace.PROPOSAL, "receive",
+                block.view, {"block": block.block_id, "from": message.sender},
+            )
         if block.block_id in self.forest:
             return
         self._maybe_echo_proposal(message)
@@ -477,6 +503,12 @@ class Replica:
             sender=self.node_id, size_bytes=self.size_model.vote_size(), vote=vote
         )
         self.stats.votes_sent += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.scheduler.now, self.node_id, obs_trace.VOTE, "vote",
+                block.view, {"block": block.block_id},
+            )
         if self.safety.votes_broadcast:
             self._broadcast(message, include_self=True)
         else:
@@ -558,6 +590,12 @@ class Replica:
             self.stats.safety_violations += 1
             if self.metrics is not None:
                 self.metrics.record_safety_violation(self.node_id)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.scheduler.now, self.node_id, obs_trace.FAULT,
+                    "safety-violation", self.pacemaker.current_view,
+                    {"block": block_id},
+                )
             return
         # Hot loop: every committed transaction on every replica passes
         # through here.  Only the replica that received the client request
@@ -565,10 +603,17 @@ class Replica:
         # entirely on the other n-1 replicas.
         apply = self.kvstore.apply
         origin_entries = self._origin_clients._entries
+        tr = self.tracer
+        now = self.scheduler.now
         for vertex in newly:
             block = vertex.block
             self.stats.blocks_committed += 1
             self.stats.transactions_committed += block.num_transactions
+            if tr is not None:
+                tr.emit(
+                    now, self.node_id, obs_trace.COMMIT, "commit", block.view,
+                    {"block": block.block_id, "txs": block.num_transactions},
+                )
             for transaction in block.transactions:
                 apply(transaction)
                 if transaction.txid in origin_entries:
@@ -644,6 +689,12 @@ class Replica:
             timeout=timeout,
         )
         self.stats.timeouts_sent += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.scheduler.now, self.node_id, obs_trace.TIMEOUT,
+                "timeout-sent", view, {"high_qc_view": timeout.high_qc_view},
+            )
         self._broadcast(message, include_self=True)
 
     def _process_timeout(self, message: TimeoutMessage) -> None:
@@ -669,6 +720,12 @@ class Replica:
             return
         self._last_proposed_view = view
         parent = self.forest.get_block(plan.parent_id)
+        if self.tracer is not None:
+            # Leader-side queue depth, sampled once per proposal attempt:
+            # low-frequency, so the histogram stays cheap.
+            self.tracer.metrics.observe(
+                self.node_id, "queue_depth", float(len(self.mempool))
+            )
         batch = self.mempool.next_batch(self.settings.block_size)
         block = make_block(view, parent, plan.qc, self.node_id, batch)
         cost = self.cost_model.proposal_build_cost(len(batch))
@@ -687,4 +744,10 @@ class Replica:
             sender=self.node_id, size_bytes=size, block=block, view=view
         )
         self.stats.proposals_sent += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.scheduler.now, self.node_id, obs_trace.PROPOSAL, "propose",
+                view, {"block": block.block_id, "txs": block.num_transactions},
+            )
         self._broadcast(message, include_self=True)

@@ -10,8 +10,13 @@ Every subcommand is driven by the same JSON files the library consumes::
     python -m repro report --store out             # aggregate: mean ± 95% CI
     python -m repro plot --store out -o figures    # render paper figures (SVG)
     python -m repro regress --store out -b base.json [--freeze]
+    python -m repro trace trace.jsonl              # validate + summarize a trace
+    python -m repro trace trace.jsonl -f perfetto  # convert for ui.perfetto.dev
     python -m repro list                           # extension points
     python -m repro list --store out               # stored campaign records
+
+``run``, ``deploy``, and ``fuzz`` accept ``--trace`` / ``--trace-out PATH``
+to record a protocol event trace of the run (see ``docs/OBSERVABILITY.md``).
 
 ``run`` accepts either a flat configuration object or
 ``{"config": {...}, "scenario": {...}}``; ``campaign`` accepts an
@@ -27,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -70,6 +76,38 @@ def _params_label(params: Dict[str, Any]) -> str:
 
 
 # ----------------------------------------------------------------------
+# tracing flags (shared by run / deploy / fuzz)
+# ----------------------------------------------------------------------
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", action="store_true",
+                        help="record a protocol event trace (JSONL)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="trace output path (implies --trace; "
+                             "default trace.jsonl)")
+
+
+@contextmanager
+def _traced(args: argparse.Namespace):
+    """Install a process-global tracer around a command body when requested.
+
+    On clean exit the trace is written as deterministic JSONL and a stable
+    ``trace: <path> (<N> records)`` line is printed (the CI trace-smoke job
+    greps for it).  Yields ``None`` when tracing was not requested.
+    """
+    out = getattr(args, "trace_out", None)
+    if not (getattr(args, "trace", False) or out):
+        yield None
+        return
+    from repro.obs import trace as obs_trace
+
+    with obs_trace.tracing() as tracer:
+        yield tracer
+    records = tracer.records()
+    path = obs_trace.write_trace(records, out or "trace.jsonl")
+    print(f"trace: {path} ({len(records)} records)")
+
+
+# ----------------------------------------------------------------------
 # subcommands
 # ----------------------------------------------------------------------
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -79,10 +117,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.scenario:
         scenario_data = _load_json(args.scenario)
         scenario_data = scenario_data.get("scenario", scenario_data)
-    if scenario_data is not None:
-        result = ScenarioRunner(config, Scenario.from_dict(scenario_data)).run()
-    else:
-        result = run_experiment(config)
+    with _traced(args):
+        if scenario_data is not None:
+            result = ScenarioRunner(config, Scenario.from_dict(scenario_data)).run()
+        else:
+            result = run_experiment(config)
     if args.json:
         print(json.dumps(result.metrics.to_dict() | {"consistent": result.consistent}, indent=2))
     else:
@@ -109,7 +148,8 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     if args.seed is not None:
         overrides["seed"] = args.seed
     config = config.replace(**overrides).validate()
-    result = run_experiment(config)
+    with _traced(args):
+        result = run_experiment(config)
     metrics = result.metrics.to_dict()
     if args.json:
         print(json.dumps(metrics | {"consistent": result.consistent}, indent=2))
@@ -151,7 +191,8 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     spec = ExperimentSpec.from_dict(_load_json(args.spec))
     store = ResultStore(args.store) if args.store else None
-    runner = CampaignRunner(spec, workers=args.workers, store=store, force=args.force)
+    runner = CampaignRunner(spec, workers=args.workers, store=store,
+                            force=args.force, progress=args.progress or None)
     result = runner.run()
     if args.json:
         print(json.dumps(result.records, indent=2))
@@ -199,14 +240,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         for violation in outcome.violations:
             print(f"  [{violation.oracle}] {violation.detail}")
 
-    report = run_fuzz(
-        budget=args.budget,
-        seed=args.seed,
-        store=args.store,
-        artifacts=args.artifacts,
-        shrink=not args.no_shrink,
-        progress=progress if not args.json else None,
-    )
+    with _traced(args):
+        report = run_fuzz(
+            budget=args.budget,
+            seed=args.seed,
+            store=args.store,
+            artifacts=args.artifacts,
+            shrink=not args.no_shrink,
+            progress=progress if not args.json else None,
+        )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
         return 0 if report.ok else 1
@@ -220,6 +262,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         for artifact in (outcome.artifact, outcome.shrunk_artifact):
             if artifact:
                 print(f"artifact: {artifact}")
+        if outcome.trace_artifact:
+            print(f"trace artifact: {outcome.trace_artifact}")
     return 0 if report.ok else 1
 
 
@@ -386,6 +430,50 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Validate, summarize, or convert a JSONL trace file."""
+    from repro.obs.export import (
+        TraceFormatError,
+        summarize,
+        to_text,
+        validate_jsonl,
+    )
+    from repro.obs.trace import write_trace
+
+    if not Path(args.trace).is_file():
+        raise SystemExit(f"error: no such file: {args.trace}")
+    try:
+        _header, records = validate_jsonl(args.trace)
+    except TraceFormatError as exc:
+        print(f"error: invalid trace: {exc}", file=sys.stderr)
+        return 1
+
+    if args.format == "summary":
+        summary = summarize(records)
+        # Stable one-per-line facts for scripts and the CI trace-smoke grep.
+        print(f"valid trace: {args.trace}")
+        print(f"records: {summary['records']}")
+        print(f"replicas: {', '.join(summary['replicas']) or '-'}")
+        categories = summary["categories"]
+        print("categories: " + (", ".join(
+            f"{name}:{count}" for name, count in categories.items()) or "-"))
+        print(f"span: {summary['t_min']:.6f}s .. {summary['t_max']:.6f}s")
+        return 0
+
+    sink = {"perfetto": "perfetto", "chrome": "perfetto",
+            "text": "text", "svg": "svg", "jsonl": "jsonl"}[args.format]
+    if args.out is None:
+        if args.format == "text":
+            print(to_text(records))
+            return 0
+        suffix = {"perfetto": ".perfetto.json", "chrome": ".perfetto.json",
+                  "svg": ".svg", "jsonl": ".jsonl"}[args.format]
+        args.out = str(Path(args.trace).with_suffix(suffix))
+    path = write_trace(records, args.out, sink=sink)
+    print(f"wrote {path} ({len(records)} records, {args.format})")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     if args.store:
         if not Path(args.store).is_dir():
@@ -439,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
                                       "{'config': ..., 'scenario': ...})")
     run_p.add_argument("--scenario", help="JSON file with a fault schedule")
     run_p.add_argument("--json", action="store_true", help="print raw JSON metrics")
+    _add_trace_flags(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     deploy_p = sub.add_parser(
@@ -459,6 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
     deploy_p.add_argument("--campaign-name", default="fig8_deploy",
                           help="campaign name for stored records (default fig8_deploy)")
     deploy_p.add_argument("--json", action="store_true", help="print raw JSON metrics")
+    _add_trace_flags(deploy_p)
     deploy_p.set_defaults(func=_cmd_deploy)
 
     camp_p = sub.add_parser("campaign", help="run a declarative experiment grid")
@@ -468,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("-s", "--store", help="result store directory (enables resume)")
     camp_p.add_argument("--force", action="store_true",
                         help="re-run points already present in the store")
+    camp_p.add_argument("--progress", action="store_true",
+                        help="print live done/total, rate, ETA, and straggler "
+                             "lines to stderr as runs complete")
     camp_p.add_argument("--json", action="store_true", help="print raw JSON records")
     camp_p.set_defaults(func=_cmd_campaign)
 
@@ -490,6 +583,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--replay", metavar="FILE",
                         help="re-execute a violation artifact instead of fuzzing")
     fuzz_p.add_argument("--json", action="store_true", help="print a JSON report")
+    _add_trace_flags(fuzz_p)
     fuzz_p.set_defaults(func=_cmd_fuzz)
 
     sweep_p = sub.add_parser("sweep", help="latency/throughput saturation sweep")
@@ -543,6 +637,23 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(per-metric override); repeatable (default 0)")
     regress_p.add_argument("--json", action="store_true", help="print raw JSON verdicts")
     regress_p.set_defaults(func=_cmd_regress)
+
+    trace_p = sub.add_parser(
+        "trace", help="validate, summarize, or convert a JSONL event trace"
+    )
+    trace_p.add_argument("trace", help="JSONL trace file (from --trace-out)")
+    trace_p.add_argument("-f", "--format",
+                         choices=["summary", "perfetto", "chrome", "text",
+                                  "svg", "jsonl"],
+                         default="summary",
+                         help="output: summary (default, validates and prints "
+                              "counts), perfetto/chrome (trace-event JSON), "
+                              "text (timeline), svg (view-timeline lane chart), "
+                              "jsonl (re-serialize)")
+    trace_p.add_argument("-o", "--out",
+                         help="output path (default: derived from the input; "
+                              "text prints to stdout)")
+    trace_p.set_defaults(func=_cmd_trace)
 
     list_p = sub.add_parser("list", help="list extension points or stored results")
     list_p.add_argument("kind", nargs="?",

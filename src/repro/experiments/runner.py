@@ -106,6 +106,7 @@ class CampaignRunner:
         workers: int = 1,
         store: Optional[Union[ResultStore, str]] = None,
         force: bool = False,
+        progress: Optional[Any] = None,
     ) -> None:
         self.spec = spec
         self.workers = max(1, int(workers))
@@ -115,6 +116,10 @@ class CampaignRunner:
             self.store = ResultStore(store)
         #: Re-run and re-record points even when the store already has them.
         self.force = force
+        #: Live progress reporter (:class:`repro.obs.CampaignProgress` or any
+        #: object with ``start(run_id)``/``finish(run_id)`` and a ``total``
+        #: attribute).  ``True`` builds a default reporter printing to stderr.
+        self.progress = progress
 
     def run(self) -> CampaignResult:
         """Execute the campaign and return every record in expansion order."""
@@ -161,8 +166,20 @@ class CampaignRunner:
             deduplicated=len(runs) - len(pending) - skipped,
         )
 
+    def _make_progress(self, total: int) -> Optional[Any]:
+        if self.progress is None or self.progress is False:
+            return None
+        if self.progress is True:
+            from repro.obs import CampaignProgress
+
+            return CampaignProgress(total)
+        reporter = self.progress
+        reporter.total = total
+        return reporter
+
     def _execute(self, pending: List[RunSpec]) -> Dict[str, Dict[str, Any]]:
         results: Dict[str, Dict[str, Any]] = {}
+        reporter = self._make_progress(len(pending))
 
         def completed(record: Dict[str, Any]) -> None:
             # Persist immediately: an interrupted (or partially failed)
@@ -170,12 +187,21 @@ class CampaignRunner:
             results[record["run_id"]] = record
             if self.store is not None:
                 self.store.add(record)
+            if reporter is not None:
+                reporter.finish(record["run_id"])
 
         payloads = [run.payload() for run in pending]
         if self.workers > 1 and len(payloads) > 1:
             failure: Optional[BaseException] = None
             with ProcessPoolExecutor(max_workers=min(self.workers, len(payloads))) as pool:
-                futures = [pool.submit(execute_payload, payload) for payload in payloads]
+                futures = []
+                for payload in payloads:
+                    # Submission = start for progress purposes: queued points
+                    # age like running ones, so the straggler flag also
+                    # catches a run starved behind a slow sibling.
+                    if reporter is not None:
+                        reporter.start(payload["run_id"])
+                    futures.append(pool.submit(execute_payload, payload))
                 for future in as_completed(futures):
                     # One failing run must not discard its siblings: the
                     # pool runs them to completion anyway, so collect and
@@ -190,6 +216,8 @@ class CampaignRunner:
                 raise failure
         else:
             for payload in payloads:
+                if reporter is not None:
+                    reporter.start(payload["run_id"])
                 completed(execute_payload(payload))
         return results
 
@@ -199,6 +227,9 @@ def run_campaign(
     workers: int = 1,
     store: Optional[Union[ResultStore, str]] = None,
     force: bool = False,
+    progress: Optional[Any] = None,
 ) -> CampaignResult:
     """Convenience wrapper: ``CampaignRunner(spec, ...).run()``."""
-    return CampaignRunner(spec, workers=workers, store=store, force=force).run()
+    return CampaignRunner(
+        spec, workers=workers, store=store, force=force, progress=progress
+    ).run()

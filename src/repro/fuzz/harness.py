@@ -49,6 +49,9 @@ class CaseOutcome:
     #: Paths of the artifacts written for a violating case (if any).
     artifact: Optional[str] = None
     shrunk_artifact: Optional[str] = None
+    #: Path of the violating run's event trace (JSONL), captured by
+    #: re-executing the case under a fresh tracer.
+    trace_artifact: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -154,10 +157,34 @@ class FuzzReport:
                     "violations": [v.to_dict() for v in outcome.violations],
                     "artifact": outcome.artifact,
                     "shrunk_artifact": outcome.shrunk_artifact,
+                    "trace_artifact": outcome.trace_artifact,
                 }
                 for outcome in self.failures
             ],
         }
+
+
+def capture_trace(
+    directory: str, case: FuzzCase, oracles: Optional[List[str]] = None
+) -> str:
+    """Re-execute a violating case under a fresh tracer and dump its trace.
+
+    The campaign itself runs untraced (tracing must never be a precondition
+    for finding a bug), so the violating case is executed a second time —
+    cases are deterministic, the replay reproduces the same run — with a
+    :class:`repro.obs.Tracer` installed, and the full event trace lands
+    next to the replay artifact as ``violation-<run_id>-trace.jsonl``.
+    Any tracer the caller had installed is restored afterwards.
+    """
+    from repro.obs import trace as obs_trace
+    from repro.obs.export import write_jsonl
+
+    os.makedirs(directory, exist_ok=True)
+    with obs_trace.tracing() as tracer:
+        execute_case(case, oracles)
+    path = os.path.join(directory, f"violation-{case.run_id}-trace.jsonl")
+    write_jsonl(tracer.records(), path)
+    return path
 
 
 def write_artifact(
@@ -175,6 +202,7 @@ def write_artifact(
             "run_id": outcome.case.run_id,
         },
         "violations": [v.to_dict() for v in outcome.violations],
+        "trace_artifact": outcome.trace_artifact,
         "case": outcome.case.to_dict(),
     }
     with open(path, "w", encoding="utf-8") as handle:
@@ -237,6 +265,8 @@ def run_fuzz(
                 store.add(outcome.record)
         else:
             if artifacts is not None:
+                # Trace first so the replay artifact can point at it.
+                outcome.trace_artifact = capture_trace(artifacts, case, oracles)
                 outcome.artifact = write_artifact(artifacts, outcome)
             if shrink:
                 fired = sorted({v.oracle for v in outcome.violations})

@@ -36,6 +36,7 @@ from repro.network.delays import DelayModel, NoDelay, NormalDelay
 from repro.network.fluctuation import FluctuationWindow
 from repro.network.nic import DEFAULT_BANDWIDTH_BPS, NetworkInterface
 from repro.network.partition import Partition
+from repro.obs import trace as obs_trace
 from repro.sim.events import EventScheduler
 from repro.sim.random import RandomStreams
 from repro.types.messages import Message
@@ -84,6 +85,9 @@ class Network:
         self.bandwidth_bps = bandwidth_bps
         self.local_delivery_delay = local_delivery_delay
         self.stats = NetworkStats()
+        # Observability (repro.obs): set by the cluster builder when a tracer
+        # is installed; None keeps every hot-path hook a single-if no-op.
+        self.tracer = None
 
         self._rng = streams.get("network")
         self._handlers: Dict[str, DeliveryHandler] = {}
@@ -237,6 +241,11 @@ class Network:
         now = self.scheduler.now
         completion = (free_at if free_at > now else now) + service_time
         egress.free_at = completion
+        tr = self.tracer
+        if tr is not None:
+            # Hop delay as experienced on the wire: egress serialization
+            # (including queueing behind earlier copies) plus propagation.
+            tr.metrics.observe(src, "hop_delay", (completion - now) + delay)
         self.scheduler.post_at(completion + delay, self._arrive_fast, dst, message)
 
     def broadcast(self, src: str, targets: List[str], message: Message, include_self: bool = False) -> None:
@@ -272,6 +281,7 @@ class Network:
         post_at = self.scheduler.post_at
         size = message.size_bytes
         arrive = self._arrive_fast
+        tr = self.tracer
         sent_self = False
         fanout = 0
         wire = 0
@@ -300,6 +310,8 @@ class Network:
             if extra_sample is not None:
                 delay += extra_sample(rng)
             free_at += service_time
+            if tr is not None:
+                tr.metrics.observe(src, "hop_delay", (free_at - now) + delay)
             post_at(free_at + delay, arrive, dst, message)
         if wire:
             egress.free_at = free_at
@@ -323,6 +335,7 @@ class Network:
         if dst in self._crashed:
             # The destination crashed while the message was on the wire.
             self.stats.messages_dropped += 1
+            self._trace_drop(dst, message, "crashed-dst")
             return
         # transfer() inlined (reserve + post): one fewer call per arrival.
         ingress = self._ingress[dst]
@@ -338,10 +351,12 @@ class Network:
         self._prune_expired(now)
         if src in self._crashed or dst in self._crashed:
             self.stats.messages_dropped += 1
+            self._trace_drop(dst, message, "crashed")
             return
         for partition in self._partitions:
             if partition.blocks(src, dst, now):
                 self.stats.messages_dropped += 1
+                self._trace_drop(dst, message, "partitioned")
                 return
         if src == dst:
             self.scheduler.post_after(self.local_delivery_delay, self._deliver, dst, message)
@@ -364,12 +379,22 @@ class Network:
     def _arrive(self, src: str, dst: str, message: Message) -> None:
         if dst in self._crashed or src in self._crashed:
             self.stats.messages_dropped += 1
+            self._trace_drop(dst, message, "crashed")
             return
         self._ingress[dst].transfer(message.size_bytes, self._deliver, dst, message)
 
     def _deliver(self, dst: str, message: Message) -> None:
         if dst in self._crashed:
             self.stats.messages_dropped += 1
+            self._trace_drop(dst, message, "crashed-dst")
             return
         self.stats.messages_delivered += 1
         self._handlers[dst](message)
+
+    def _trace_drop(self, dst: str, message: Message, reason: str) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.scheduler.now, dst, obs_trace.NET, "drop", 0,
+                {"message": message.__class__.__name__, "reason": reason},
+            )

@@ -1,0 +1,325 @@
+"""Protocol-aware tracing: per-replica ring buffers of compact event records.
+
+A :class:`Tracer` collects ``(t, replica, category, kind, view, payload)``
+tuples from instrumentation points threaded through the protocol stack
+(view entry, proposal, vote, QC/TC formation, commit, timeout, sync round,
+snapshot install, network hops, client commits, and scenario fault events).
+Three properties make it safe to leave the hooks in the hot path:
+
+* **A falsy no-op sentinel.**  Every instrumented component holds a
+  ``tracer`` attribute that is ``None`` unless a tracer was installed; the
+  hot-path check is a single ``if tr is not None`` (or ``if tr:``) on a
+  local, so disabled tracing costs one attribute load per site — the PR 8
+  events/s ratchet must not move.
+* **Category bitmasks.**  Each record belongs to exactly one category bit
+  (:data:`VIEW`, :data:`PROPOSAL`, ...); ``Tracer(categories=("view",
+  "commit"))`` keeps only those, and :meth:`Tracer.emit` drops filtered
+  categories before touching the buffers.  Unknown bits are rejected, both
+  at construction and at emit time.
+* **Bounded ring buffers.**  Records live in one ``deque(maxlen=capacity)``
+  per replica; a long run evicts its oldest records instead of growing.
+
+Installation is process-global and explicit: :func:`install` sets the
+module-level :data:`ACTIVE` sentinel that the cluster builders
+(:func:`repro.bench.runner.build_cluster`, the deployment runner) read when
+wiring replicas, so the tracer never lives in a :class:`Configuration` —
+run ids, stored records, and resume semantics are unchanged by tracing.
+Prefer the :func:`tracing` context manager, which restores the previous
+state on exit::
+
+    from repro.obs import Tracer, tracing
+
+    with tracing(Tracer(categories=("view", "commit"))) as tracer:
+        result = api.run(config)
+    records = tracer.records()
+
+Export sinks (JSONL, Chrome/Perfetto, text, SVG timeline) live in
+:mod:`repro.obs.export` and are an extension point: register new ones with
+:func:`register_trace_sink`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.obs.metrics import ObsMetrics
+from repro.plugins import Registry
+
+# ----------------------------------------------------------------------
+# categories
+# ----------------------------------------------------------------------
+#: One bit per record category, in a stable declaration order (the order
+#: fixes the bit values, the exported category list, and summary listings).
+VIEW = 1 << 0         #: view entry (pacemaker ``_enter_view``)
+PROPOSAL = 1 << 1     #: proposal broadcast / receipt
+VOTE = 1 << 2         #: vote sent
+QC = 1 << 3           #: quorum / timeout certificate formation
+COMMIT = 1 << 4       #: block committed
+TIMEOUT = 1 << 5      #: local timeout fired, TIMEOUT message broadcast
+SYNC = 1 << 6         #: block-fetch round started / response ingested
+CHECKPOINT = 1 << 7   #: checkpoint taken, snapshot installed
+FAULT = 1 << 8        #: scenario events (crash/partition/heal/...) and safety violations
+NET = 1 << 9          #: network-level drops (crashed/partitioned destinations)
+CLIENT = 1 << 10      #: client request committed (request->commit latency)
+PROFILE = 1 << 11     #: profiling spans folded in by tools/perf_smoke.py
+
+#: category bit -> canonical name, in declaration order.
+CATEGORY_NAMES: Dict[int, str] = {
+    VIEW: "view",
+    PROPOSAL: "proposal",
+    VOTE: "vote",
+    QC: "qc",
+    COMMIT: "commit",
+    TIMEOUT: "timeout",
+    SYNC: "sync",
+    CHECKPOINT: "checkpoint",
+    FAULT: "fault",
+    NET: "net",
+    CLIENT: "client",
+    PROFILE: "profile",
+}
+
+#: canonical name -> category bit.
+CATEGORY_BITS: Dict[str, int] = {name: bit for bit, name in CATEGORY_NAMES.items()}
+
+#: Every defined category bit set.
+ALL_CATEGORIES: int = 0
+for _bit in CATEGORY_NAMES:
+    ALL_CATEGORIES |= _bit
+del _bit
+
+#: Default ring-buffer capacity per replica (records).
+DEFAULT_CAPACITY = 1 << 16
+
+
+def category_mask(categories: Union[int, str, Iterable[str], None]) -> int:
+    """Resolve a category selection to a validated bitmask.
+
+    Accepts ``None`` (everything), an int bitmask, one category name, or an
+    iterable of names.  Unknown bits and names raise ``ValueError`` — a typo
+    must not silently trace nothing.
+    """
+    if categories is None:
+        return ALL_CATEGORIES
+    if isinstance(categories, int):
+        unknown = categories & ~ALL_CATEGORIES
+        if unknown or categories == 0:
+            raise ValueError(
+                f"unknown trace category bits {unknown:#x} "
+                f"(defined mask is {ALL_CATEGORIES:#x})"
+                if unknown
+                else "category mask must select at least one category"
+            )
+        return categories
+    if isinstance(categories, str):
+        categories = (categories,)
+    mask = 0
+    for name in categories:
+        bit = CATEGORY_BITS.get(name)
+        if bit is None:
+            raise ValueError(
+                f"unknown trace category {name!r}; "
+                f"known: {', '.join(CATEGORY_BITS)}"
+            )
+        mask |= bit
+    if mask == 0:
+        raise ValueError("category mask must select at least one category")
+    return mask
+
+
+class TraceRecord(NamedTuple):
+    """One exported trace record (category resolved to its name)."""
+
+    t: float
+    replica: str
+    category: str
+    kind: str
+    view: int
+    payload: Optional[Dict[str, Any]]
+
+
+class Tracer:
+    """Collects protocol events into per-replica bounded ring buffers."""
+
+    __slots__ = (
+        "mask",
+        "capacity",
+        "metrics",
+        "buffers",
+        "records_emitted",
+        "records_evicted",
+        "_seq",
+    )
+
+    def __init__(
+        self,
+        categories: Union[int, str, Iterable[str], None] = None,
+        capacity: int = DEFAULT_CAPACITY,
+        metrics: Optional[ObsMetrics] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"trace capacity must be positive, got {capacity}")
+        self.mask = category_mask(categories)
+        self.capacity = capacity
+        #: Low-cardinality counters and latency histograms fed by the same
+        #: instrumentation points (see :mod:`repro.obs.metrics`).
+        self.metrics = metrics if metrics is not None else ObsMetrics()
+        #: replica id -> ring of ``(seq, t, category_bit, kind, view, payload)``.
+        self.buffers: Dict[str, Deque[Tuple]] = {}
+        self.records_emitted = 0
+        self.records_evicted = 0
+        # Global emission sequence: the merge key of records(). Emission
+        # order is deterministic (the simulation is), so sorting by seq
+        # reproduces it exactly — including ties at equal timestamps.
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        t: float,
+        replica: str,
+        category: int,
+        kind: str,
+        view: int,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one event (dropped when its category is filtered out)."""
+        if not (category & self.mask):
+            if category & ~ALL_CATEGORIES or category == 0:
+                raise ValueError(f"unknown trace category bits: {category:#x}")
+            return
+        if category not in CATEGORY_NAMES:
+            # Inside the mask but not a single defined bit (e.g. VIEW|VOTE):
+            # a record belongs to exactly one category.
+            raise ValueError(f"unknown trace category bits: {category:#x}")
+        buffer = self.buffers.get(replica)
+        if buffer is None:
+            buffer = self.buffers[replica] = deque(maxlen=self.capacity)
+        elif len(buffer) == self.capacity:
+            self.records_evicted += 1
+        self._seq += 1
+        buffer.append((self._seq, t, category, kind, view, payload))
+        self.records_emitted += 1
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def records(self) -> List[TraceRecord]:
+        """Every retained record, merged across replicas in emission order."""
+        merged: List[Tuple] = []
+        for replica, buffer in self.buffers.items():
+            merged.extend(
+                (seq, t, replica, category, kind, view, payload)
+                for (seq, t, category, kind, view, payload) in buffer
+            )
+        merged.sort(key=lambda entry: entry[0])
+        names = CATEGORY_NAMES
+        return [
+            TraceRecord(t, replica, names[category], kind, view, payload)
+            for (_, t, replica, category, kind, view, payload) in merged
+        ]
+
+    def replicas(self) -> List[str]:
+        """Replica ids with at least one retained record, sorted."""
+        return sorted(self.buffers)
+
+    def __len__(self) -> int:
+        return sum(len(buffer) for buffer in self.buffers.values())
+
+    def clear(self) -> None:
+        """Drop every retained record (counters and metrics are kept)."""
+        self.buffers.clear()
+
+
+# ----------------------------------------------------------------------
+# process-global installation (the no-op fast path)
+# ----------------------------------------------------------------------
+#: The installed tracer, or ``None`` (falsy) when tracing is disabled.
+#: Cluster builders read this when wiring replicas; instrumented components
+#: copy it into a ``tracer`` attribute checked with one ``if`` per site.
+ACTIVE: Optional[Tracer] = None
+
+
+def install(tracer: Optional[Tracer] = None, **kwargs: Any) -> Tracer:
+    """Install ``tracer`` (or a fresh ``Tracer(**kwargs)``) as :data:`ACTIVE`.
+
+    Clusters built *after* installation pick it up; already-built clusters
+    are unaffected (attach via :meth:`repro.core.replica.Replica.attach_tracer`
+    if needed).  Returns the installed tracer.
+    """
+    global ACTIVE
+    if tracer is None:
+        tracer = Tracer(**kwargs)
+    ACTIVE = tracer
+    return tracer
+
+
+def uninstall() -> Optional[Tracer]:
+    """Clear :data:`ACTIVE`; returns the tracer that was installed, if any."""
+    global ACTIVE
+    tracer, ACTIVE = ACTIVE, None
+    return tracer
+
+
+@contextmanager
+def tracing(
+    tracer: Optional[Tracer] = None, **kwargs: Any
+) -> Iterator[Tracer]:
+    """Context manager: install a tracer, restore the previous state on exit. ::
+
+        with tracing(categories=("view", "commit")) as tracer:
+            api.run(config)
+        print(len(tracer.records()))
+    """
+    global ACTIVE
+    previous = ACTIVE
+    installed = install(tracer, **kwargs)
+    try:
+        yield installed
+    finally:
+        ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# trace sinks: the export extension point
+# ----------------------------------------------------------------------
+#: Registry of export sinks.  A sink is a callable
+#: ``(records: Sequence[TraceRecord], path) -> Path`` writing one trace to
+#: one file; the built-ins (``jsonl``, ``perfetto``, ``text``, ``svg``)
+#: register themselves in :mod:`repro.obs.export`.
+TRACE_SINKS: Registry[Callable] = Registry("trace sink")
+
+
+def register_trace_sink(name: str, *aliases: str, override: bool = False) -> Callable:
+    """Decorator registering an export sink under ``name`` (and aliases)."""
+    return TRACE_SINKS.register(name, *aliases, override=override)
+
+
+def available_trace_sinks() -> List[str]:
+    """Canonical names of the registered trace sinks (built-ins included)."""
+    import repro.obs.export  # noqa: F401  — registers the built-in sinks
+
+    return TRACE_SINKS.available()
+
+
+def write_trace(records, path, sink: str = "jsonl"):
+    """Write ``records`` to ``path`` through the named sink; returns the path."""
+    import repro.obs.export  # noqa: F401  — registers the built-in sinks
+
+    return TRACE_SINKS.get(sink)(records, path)

@@ -16,6 +16,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro.obs import trace as obs_trace
 from repro.quorum.quorum import TimeoutTracker
 from repro.sim.events import Event, EventScheduler
 from repro.types.certificates import Timeout, TimeoutCertificate
@@ -94,6 +95,8 @@ class Pacemaker:
         self.on_local_timeout = on_local_timeout
         self.timeout_provider = timeout_provider
         self.stats = PacemakerStats()
+        # Set by Replica.attach_tracer when observability is enabled.
+        self.tracer = None
 
         self.current_view = 0
         self._timer: Optional[Event] = None
@@ -170,6 +173,12 @@ class Pacemaker:
         self.current_view = view
         self.stats.highest_view = max(self.stats.highest_view, view)
         self.stats.record_view_entered(view, self.scheduler.now)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.scheduler.now, self.node_id, obs_trace.VIEW, "enter", view,
+                {"reason": reason.value, "timeout": self.current_timeout()},
+            )
         self._timer = self.scheduler.call_after(self.current_timeout(), self._on_timer, view)
         self.on_view_start(view, reason)
 
@@ -178,6 +187,13 @@ class Pacemaker:
             return
         self.stats.local_timeouts += 1
         self._consecutive_timeouts += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                self.scheduler.now, self.node_id, obs_trace.TIMEOUT,
+                "local-timeout", view,
+                {"consecutive": self._consecutive_timeouts},
+            )
         # Re-arm so a stuck replica keeps signalling its timeout (the quorum
         # may have missed the earlier broadcast).
         self._timer = self.scheduler.call_after(self.current_timeout(), self._on_timer, view)

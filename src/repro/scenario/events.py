@@ -31,6 +31,7 @@ from repro.core.byzantine import STRATEGIES, convert_replica
 from repro.network.delays import DELAY_MODELS, make_delay_model
 from repro.network.fluctuation import FluctuationWindow
 from repro.network.partition import Partition as NetworkPartition
+from repro.obs import trace as obs_trace
 from repro.plugins import Registry
 
 #: The scenario-event extension point, keyed by each event's ``kind`` tag.
@@ -67,7 +68,30 @@ class ScenarioEvent:
 
     def schedule(self, cluster) -> None:
         """Arrange for :meth:`apply` to run at ``self.at`` on ``cluster``."""
-        cluster.scheduler.call_at(self.at, self.apply, cluster)
+        cluster.scheduler.call_at(self.at, self._fire, cluster)
+
+    def _fire(self, cluster) -> None:
+        """Apply the event, emitting a fault-trace record when tracing is on.
+
+        Same scheduler entry as calling ``apply`` directly (one ``call_at``,
+        no extra events), so enabling tracing cannot perturb event order.
+        """
+        tracer = getattr(cluster, "tracer", None)
+        if tracer is not None:
+            payload = {
+                key: value
+                for key, value in self.to_dict().items()
+                if key not in ("kind", "at") and value is not None
+            }
+            tracer.emit(
+                self.at,
+                str(getattr(self, "replica", "cluster")),
+                obs_trace.FAULT,
+                self.kind,
+                0,
+                payload or None,
+            )
+        self.apply(cluster)
 
     @abstractmethod
     def apply(self, cluster) -> None:

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.core.dispatch import register_message_handler
 from repro.crypto.signatures import verify
+from repro.obs import trace as obs_trace
 from repro.sync.messages import BlockRequest, BlockResponse
 from repro.types.certificates import QuorumCertificate, vote_digest
 from repro.types.messages import Message
@@ -248,6 +249,13 @@ class SyncManager:
         self.stats.requests_sent += len(peers)
         if self.metrics is not None:
             self.metrics.record_sync_round(replica.node_id, replica.scheduler.now)
+        tr = replica.tracer
+        if tr is not None:
+            tr.emit(
+                replica.scheduler.now, replica.node_id, obs_trace.SYNC,
+                "fetch-round", replica.pacemaker.current_view,
+                {"target": target, "peers": len(peers)},
+            )
         for peer in peers:
             replica.network.send(replica.node_id, peer, request)
 
@@ -355,6 +363,13 @@ class SyncManager:
         if self.metrics is not None:
             self.metrics.record_sync_fetch(
                 replica.node_id, fetched, message.size_bytes, replica.scheduler.now
+            )
+        tr = replica.tracer
+        if tr is not None:
+            tr.emit(
+                replica.scheduler.now, replica.node_id, obs_trace.SYNC,
+                "fetched", replica.pacemaker.current_view,
+                {"blocks": fetched, "bytes": message.size_bytes},
             )
         if invalid:
             # Don't let a malicious responder steer follow-up rounds (or

@@ -41,6 +41,7 @@ from repro.core.byzantine import STRATEGIES
 from repro.core.replica import Replica, ReplicaSettings
 from repro.crypto.keys import KeyRegistry
 from repro.election.election import make_election
+from repro.obs import trace as obs_trace
 from repro.sim.random import RandomStreams
 from repro.sync.manager import SyncSettings
 from repro.transport.asyncio_net import AsyncioTransport
@@ -116,6 +117,10 @@ class DeploymentRunner:
         sizes = SizeModel()
         byzantine = set(config.byzantine_ids())
         self.metrics.observer = self.observer_id
+        # Same observability seam as the simulation builder: replicas and
+        # clients pick up the process-global tracer (timestamps come from the
+        # shared AsyncioClock, so deploy traces use wall time since start).
+        tracer = obs_trace.ACTIVE
 
         for node_id in node_ids:
             replica_cls = STRATEGIES.get(config.strategy) if node_id in byzantine else Replica
@@ -134,24 +139,26 @@ class DeploymentRunner:
             )
             replica.sync.metrics = self.metrics
             replica.checkpoint.metrics = self.metrics
+            if tracer is not None:
+                replica.attach_tracer(tracer)
             self.replicas[node_id] = replica
 
         client_cls = CLIENTS.get(config.resolved_client())
         workload = WorkloadSpec(payload_size=config.payload_size)
         for client_id in config.client_ids():
-            self.clients.append(
-                client_cls.from_config(
-                    client_id,
-                    self.clock,
-                    self.transport,
-                    streams,
-                    node_ids,
-                    workload=workload,
-                    size_model=sizes,
-                    metrics=self.metrics,
-                    config=config,
-                )
+            client = client_cls.from_config(
+                client_id,
+                self.clock,
+                self.transport,
+                streams,
+                node_ids,
+                workload=workload,
+                size_model=sizes,
+                metrics=self.metrics,
+                config=config,
             )
+            client.tracer = tracer
+            self.clients.append(client)
 
         await self.transport.start()
         for replica in self.replicas.values():

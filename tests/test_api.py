@@ -60,6 +60,7 @@ class TestFacade:
         assert set(listings) == {
             "protocols", "strategies", "elections", "delay_models",
             "clients", "scenario_events", "message_handlers", "oracles",
+            "trace_sinks",
         }
         assert listings["protocols"] == api.available("protocols")
         assert all(listings.values())

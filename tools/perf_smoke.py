@@ -92,18 +92,30 @@ def measure(config: Configuration, repeats: int) -> dict:
     return best
 
 
-def profile_cases(out_path: Path, top: int = 25) -> None:
-    """cProfile one run per case; write the top-``top`` hot spots to a file.
+def profile_cases(out_path: Path, top: int = 25) -> list:
+    """cProfile one run per case; one report file per case, stable names.
 
-    The report is uploaded as part of the CI ``perf-smoke`` artifact so a
-    regression caught by the ratchet comes with the profile that explains
-    it, without re-running anything locally.
+    ``out_path`` is the naming *stem*: case ``hotstuff_n4_b400`` with stem
+    ``BENCH_perf_profile.txt`` lands in ``BENCH_perf_profile_hotstuff_n4_b400.txt``
+    (previously every case was appended to one file, so a partial re-run
+    silently dropped the other cases' sections).  The reports are uploaded
+    as part of the CI ``perf-smoke`` artifact so a regression caught by the
+    ratchet comes with the profile that explains it.
+
+    The same top-``top`` hot spots are also folded into a Chrome-format
+    trace (``BENCH_perf_trace.json`` next to the stem, one ``profile``
+    slice per function, width = cumulative time) so they can be inspected
+    in ui.perfetto.dev alongside protocol traces.
     """
     import cProfile
     import io
     import pstats
 
-    sections = []
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.trace import PROFILE, Tracer
+
+    tracer = Tracer(categories=PROFILE)
+    written = []
     for name, config in CASES:
         print(f"perf_smoke: profiling {name} ...", flush=True)
         profiler = cProfile.Profile()
@@ -113,13 +125,44 @@ def profile_cases(out_path: Path, top: int = 25) -> None:
         buffer = io.StringIO()
         stats = pstats.Stats(profiler, stream=buffer)
         stats.sort_stats("tottime").print_stats(top)
-        sections.append(f"=== {name} (top {top} by self time) ===\n{buffer.getvalue()}")
-    out_path.write_text("\n".join(sections))
-    print(f"perf_smoke: wrote profile report to {out_path}")
+        case_path = out_path.with_name(f"{out_path.stem}_{name}{out_path.suffix}")
+        case_path.write_text(
+            f"=== {name} (top {top} by self time) ===\n{buffer.getvalue()}"
+        )
+        written.append(case_path)
+        print(f"perf_smoke: wrote profile report to {case_path}")
+        # (cc, nc, tt, ct, callers) per (file, line, func) — the same
+        # ordering as the text report, recorded as PROFILE trace slices.
+        ranked = sorted(
+            stats.stats.items(), key=lambda item: item[1][2], reverse=True
+        )[:top]
+        for (filename, line, func), (_, ncalls, tottime, cumtime, _) in ranked:
+            tracer.emit(
+                0.0,
+                f"profile:{name}",
+                PROFILE,
+                f"{Path(filename).name}:{line}:{func}",
+                0,
+                {
+                    "calls": ncalls,
+                    "tottime": round(tottime, 6),
+                    "cumtime": round(cumtime, 6),
+                },
+            )
+    trace_path = out_path.with_name("BENCH_perf_trace.json")
+    write_chrome_trace(tracer.records(), trace_path)
+    written.append(trace_path)
+    print(f"perf_smoke: wrote profile trace to {trace_path}")
+    return written
 
 
 def _perf_records(results: dict) -> list:
-    """Shape per-case results as campaign records the regress layer accepts."""
+    """Shape per-case results as campaign records the regress layer accepts.
+
+    The ``*_traced`` diagnostic case is excluded: the ratchet gates (and
+    latches) the *tracing-disabled* hot path only, so enabling tracing can
+    never lower the frozen events/sec floor.
+    """
     return [
         {
             "run_id": name,
@@ -128,6 +171,7 @@ def _perf_records(results: dict) -> list:
             "metrics": {"events_per_second": case["events_per_second"]},
         }
         for name, case in results.items()
+        if not name.endswith("_traced")
     ]
 
 
@@ -182,10 +226,11 @@ def main(argv=None) -> int:
                         help="relative drop allowed before the gate fails "
                              "(default 0.5; host timings are noisy)")
     parser.add_argument("--profile", nargs="?", const="BENCH_perf_profile.txt",
-                        metavar="PATH",
-                        help="also cProfile one run per case and write the "
-                             "top-25 hot spots to PATH "
-                             "(default BENCH_perf_profile.txt next to --out)")
+                        metavar="STEM",
+                        help="also cProfile one run per case: top-25 hot spots "
+                             "per case to STEM_<case>.txt, plus a Perfetto-"
+                             "loadable BENCH_perf_trace.json "
+                             "(default stem BENCH_perf_profile.txt next to --out)")
     args = parser.parse_args(argv)
 
     results = {}
@@ -200,7 +245,32 @@ def main(argv=None) -> int:
               f"{case['events_per_second']:.0f} events/s, "
               f"sim/wall {case['sim_to_wall_ratio']}x")
 
+    # Re-measure the first case with tracing enabled: the observability
+    # subsystem's overhead, quantified on every perf run.  Diagnostic only —
+    # _perf_records keeps it out of the events/sec ratchet.
+    from repro.obs.trace import tracing
+
+    base_name, base_config = CASES[0]
+    traced_name = f"{base_name}_traced"
+    print(f"perf_smoke: {traced_name} (tracing enabled) ...", flush=True)
+    with tracing():
+        traced_case = measure(base_config, max(1, args.repeats))
+    results[traced_name] = traced_case
+    disabled_eps = results[base_name]["events_per_second"]
+    traced_eps = traced_case["events_per_second"]
+    trace_overhead = {
+        "case": base_name,
+        "events_per_second_disabled": disabled_eps,
+        "events_per_second_traced": traced_eps,
+        "overhead_pct": round(100.0 * (1.0 - traced_eps / disabled_eps), 1)
+        if disabled_eps > 0
+        else 0.0,
+    }
+    print(f"  {traced_case['events_per_second']:.0f} events/s traced "
+          f"({trace_overhead['overhead_pct']}% overhead)")
+
     summary = {
+        "trace_overhead": trace_overhead,
         "benchmark": "perf_smoke",
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "host": {
